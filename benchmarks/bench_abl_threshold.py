@@ -1,0 +1,66 @@
+"""Ablation — the small-message direct-transfer threshold (§3.3).
+
+"Because programming the vDMA controller represents a certain overhead,
+to recover low latency for small messages we have defined a threshold
+for a core to directly transfer data, which is about 32 B to 128 B."
+
+Measures small-message one-way latency on the vDMA scheme with the
+direct path enabled (threshold 128 B) and disabled (threshold 0): below
+the threshold the direct path must win; well above it the vDMA path
+must win — i.e., a crossover exists, which is why the threshold is
+where it is.
+"""
+
+from repro.apps.pingpong import run_pingpong
+from repro.bench import format_table
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+from conftest import record
+
+SIZES = (32, 64, 128, 256, 1024, 7680)
+
+
+def _latencies(direct_threshold):
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        direct_threshold=direct_threshold,
+    )
+    points = run_pingpong(system, 0, 48, sizes=SIZES, iterations=5)
+    return {p.size: p.oneway_ns for p in points}
+
+
+def test_threshold_ablation(benchmark, once):
+    def run():
+        return _latencies(128), _latencies(0)
+
+    with_direct, without_direct = once(run)
+    print()
+    print(
+        format_table(
+            ["size B", "direct path us", "always vDMA us", "direct/vdma"],
+            [
+                (
+                    s,
+                    with_direct[s] / 1000,
+                    without_direct[s] / 1000,
+                    with_direct[s] / without_direct[s],
+                )
+                for s in SIZES
+            ],
+        )
+    )
+    record(
+        benchmark,
+        oneway_us_direct={s: round(v / 1000, 2) for s, v in with_direct.items()},
+        oneway_us_vdma={s: round(v / 1000, 2) for s, v in without_direct.items()},
+    )
+    # Below the threshold the direct transfer recovers latency…
+    for size in (32, 64, 128):
+        assert with_direct[size] < without_direct[size], (
+            f"direct path should win at {size} B"
+        )
+    # …and above the threshold both configurations use the same vDMA
+    # transport (equal up to protocol warm-up history).
+    assert abs(with_direct[7680] - without_direct[7680]) < 0.02 * without_direct[7680]

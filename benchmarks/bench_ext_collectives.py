@@ -1,0 +1,65 @@
+"""Extension — collective latency across the z direction.
+
+Not a paper figure, but the flip side of its locality message: BT's
+neighbor pattern hides the z direction well; a global ``allreduce``
+cannot. This bench measures barrier and allreduce cost as the group
+grows from one device to five — quantifying how much the single
+physical link per device (§3) taxes global synchronization.
+"""
+
+from repro.bench import format_table
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+from conftest import record
+
+import numpy as np
+
+
+def _collective_cost(num_devices: int, nranks: int):
+    system = VSCCSystem(num_devices=num_devices, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+    times = {}
+
+    def program(comm):
+        if comm.rank >= nranks:
+            return
+        yield from comm.barrier(group_size=nranks)
+        t0 = comm.env.sim.now
+        yield from comm.barrier(group_size=nranks)
+        t1 = comm.env.sim.now
+        yield from comm.allreduce(np.array([1.0]), np.add, group_size=nranks)
+        t2 = comm.env.sim.now
+        if comm.rank == 0:
+            times["barrier"] = t1 - t0
+            times["allreduce"] = t2 - t1
+
+    system.launch(program, ranks=range(nranks))
+    return times
+
+
+def test_collectives_across_devices(benchmark, once):
+    configs = [(1, 48), (2, 96), (5, 240)]
+
+    def run():
+        return {nd: _collective_cost(nd, nr) for nd, nr in configs}
+
+    results = once(run)
+    print()
+    print(
+        format_table(
+            ["devices", "ranks", "barrier us", "allreduce us"],
+            [
+                (nd, nr, results[nd]["barrier"] / 1000, results[nd]["allreduce"] / 1000)
+                for nd, nr in configs
+            ],
+        )
+    )
+    record(
+        benchmark,
+        barrier_us={nd: round(r["barrier"] / 1000, 1) for nd, r in results.items()},
+    )
+    # Crossing devices is expensive: a 96-rank barrier over two devices
+    # costs several times a 48-rank on-chip barrier, despite only one
+    # extra tree level.
+    assert results[2]["barrier"] > 2.0 * results[1]["barrier"]
+    assert results[5]["barrier"] > results[2]["barrier"]

@@ -1,0 +1,58 @@
+"""Fig 6a — ping-pong throughput, on-chip and inter-device.
+
+Regenerates both halves of the figure: the on-chip curves (RCCE without
+pipelining vs iRCCE with the static 4 kB threshold, peaking around
+150 MB/s) and, for scale, the best and worst inter-device curves.
+Checks the paper's shape claims:
+
+* on-chip peak ≈ 150 MB/s,
+* iRCCE gains ≈ 1.5× over RCCE for large messages,
+* every *non-pipelined* curve drops at the 8 kB message size (the
+  message no longer fits the MPB, footnote 5),
+* inter-device curves sit far below on-chip ones.
+"""
+
+from repro.bench import PAPER_BANDS, fig6a_onchip, fig6b_interdevice, format_series
+from repro.vscc.schemes import CommScheme
+
+from conftest import record
+
+SIZES = (32, 128, 512, 2048, 4096, 8192, 16384, 65536, 262144)
+
+
+def test_fig6a_pingpong(benchmark, once):
+    def run():
+        onchip = fig6a_onchip(SIZES, iterations=4)
+        inter = fig6b_interdevice(
+            SIZES,
+            iterations=3,
+            schemes=(
+                CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+                CommScheme.TRANSPARENT,
+            ),
+        )
+        return onchip, inter
+
+    onchip, inter = once(run)
+    print()
+    for label, points in onchip.items():
+        print(format_series(f"on-chip: {label}", [(p.size, p.throughput_mbps) for p in points], "MB/s"))
+    for scheme, points in inter.items():
+        print(format_series(f"inter-device: {scheme.value}", [(p.size, p.throughput_mbps) for p in points], "MB/s"))
+
+    rcce = {p.size: p.throughput_mbps for p in onchip["RCCE (no pipelining)"]}
+    ircce = {p.size: p.throughput_mbps for p in onchip["iRCCE pipelined"]}
+    peak = max(ircce.values())
+    gain = ircce[262144] / rcce[262144]
+    print(PAPER_BANDS["onchip_peak_mbps"].report(peak))
+    print(PAPER_BANDS["rcce_vs_ircce_gain"].report(gain))
+    record(benchmark, onchip_peak_mbps=round(peak, 1), pipelining_gain=round(gain, 3))
+
+    assert PAPER_BANDS["onchip_peak_mbps"].contains(peak)
+    assert PAPER_BANDS["rcce_vs_ircce_gain"].contains(gain)
+    # 8 kB MPB cliff: per-byte efficiency drops from 4 kB to 8 kB for
+    # the non-pipelined protocol (8 kB needs a second, tiny chunk).
+    assert rcce[8192] < rcce[4096]
+    # The inter-device curves sit far below on-chip (factor ≥ 3).
+    vdma_peak = max(p.throughput_mbps for p in inter[CommScheme.LOCAL_PUT_LOCAL_GET_VDMA])
+    assert vdma_peak < peak / 3

@@ -1,0 +1,68 @@
+"""Fig 7 — NPB BT class C performance on vSCC (up to 225 cores).
+
+Sweeps square rank counts over the five-device system with the best
+(vDMA local/local) and worst (cached local-put/remote-get) host-
+accelerated schemes. The paper's claims:
+
+* "good scalability of the application with host accelerated
+  inter-device communication" — GFLOP/s keeps rising to 225 cores,
+* the worst scheme is visibly slower at scale (the figure shows both),
+* 225 is the maximum configuration (square process counts only) against
+  a theoretical peak of 120 GFLOP/s for the grid.
+
+BT's per-timestep cost is constant, so one timestep per configuration
+reproduces the figure's shape at tractable simulation cost.
+"""
+
+from repro.bench import fig7_bt_scaling, format_table
+from repro.vscc.schemes import CommScheme
+
+from conftest import record
+
+RANKS = (16, 64, 144, 225)
+
+
+def test_fig7_bt_class_c(benchmark, once):
+    points = once(
+        fig7_bt_scaling,
+        RANKS,
+        (CommScheme.LOCAL_PUT_LOCAL_GET_VDMA, CommScheme.LOCAL_PUT_REMOTE_GET),
+        "C",
+        1,
+    )
+    print()
+    print(
+        format_table(
+            ["ranks", "scheme", "GFLOP/s", "s/step"],
+            [
+                (p.nranks, p.scheme.value, p.gflops, p.elapsed_s_per_step)
+                for p in points
+            ],
+        )
+    )
+    best = {
+        p.nranks: p.gflops
+        for p in points
+        if p.scheme is CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+    }
+    worst = {
+        p.nranks: p.gflops
+        for p in points
+        if p.scheme is CommScheme.LOCAL_PUT_REMOTE_GET
+    }
+    record(
+        benchmark,
+        gflops_best=best,
+        gflops_worst=worst,
+        theoretical_peak_gflops=225 * 0.533,
+    )
+    # Monotone scaling with the optimized scheme (the figure's shape).
+    counts = sorted(best)
+    for a, b in zip(counts, counts[1:]):
+        assert best[b] > best[a], f"no speedup from {a} to {b} ranks"
+    # The worst inter-device configuration is slower at scale.
+    assert worst[225] < best[225]
+    # Parallel efficiency at 225 cores stays meaningful (>40 % of the
+    # compute-bound rate), i.e. communication is hidden well.
+    compute_bound = 225 * 0.533 * 0.15  # cores × peak × sustained fraction
+    assert best[225] > 0.4 * compute_bound

@@ -1,0 +1,55 @@
+"""Fig 8 — NPB BT (class C) communication traffic of 64 cores.
+
+Recomputes the rank×rank traffic matrix of a 64-rank BT run and renders
+it like the paper's figure (x = sender, y = receiver, dark = heavy,
+device boundaries ruled like the grey boxes). Checks:
+
+* "the majority of data points are located close to the diagonal"
+  (neighboring-based communication pattern),
+* "the maximum communication traffic between two ranks is about
+  186 MB" over the full 200-step class C run,
+* inter-device traffic is a minority share but nonzero (the bottleneck
+  the paper analyzes).
+"""
+
+import numpy as np
+
+from repro.bench import PAPER_BANDS, fig8_bt_traffic
+
+from conftest import record
+
+
+def test_fig8_bt_traffic(benchmark, once):
+    matrix, stats, rendering, scaled = once(fig8_bt_traffic, 64, "C", 1, 2)
+    print()
+    print(rendering)
+    print(
+        f"one step:   total {stats.total_bytes / 1e6:8.1f} MB, "
+        f"max pair {stats.max_pair_bytes / 1e6:6.2f} MB "
+        f"{stats.max_pair}, inter-device {stats.inter_device_fraction:.1%}"
+    )
+    print(
+        f"200 steps:  max pair {scaled.max_pair_bytes / 1e6:6.1f} MB "
+        f"(paper: about 186 MB)"
+    )
+    print(PAPER_BANDS["bt_max_pair_mb"].report(scaled.max_pair_bytes / 1e6))
+    record(
+        benchmark,
+        max_pair_mb_200steps=round(scaled.max_pair_bytes / 1e6, 1),
+        inter_device_fraction=round(stats.inter_device_fraction, 4),
+        nonzero_pairs=stats.nonzero_pairs,
+    )
+
+    assert PAPER_BANDS["bt_max_pair_mb"].contains(scaled.max_pair_bytes / 1e6)
+    # Neighboring pattern: most traffic lies within a narrow band around
+    # the diagonal (each rank talks to its six fixed partners).
+    n = 64
+    sub = matrix[:n, :n]
+    band = np.abs(np.subtract.outer(np.arange(n), np.arange(n))) <= 9
+    near_diagonal = sub[band.T].sum() / sub.sum()
+    print(f"traffic within |src-dst| <= 9: {near_diagonal:.1%}")
+    assert near_diagonal > 0.5
+    # Inter-device traffic exists but is the minority (locality).
+    assert 0.0 < stats.inter_device_fraction < 0.5
+    # Every rank communicates with exactly its partner set (sparse matrix).
+    assert stats.nonzero_pairs < n * n / 4

@@ -1,0 +1,26 @@
+"""§3 latency anchors (text, not a figure — but load-bearing numbers).
+
+"A communication path in x or y direction has a relatively low latency
+(~100 core cycles) … the inter-device communication with a higher
+latency (~10⁴ core cycles) is in z direction"; §5: "this setup raises
+latencies by a factor of 120".
+"""
+
+from repro.bench import PAPER_BANDS, latency_anchors
+
+from conftest import record
+
+
+def test_latency_anchors(benchmark, once):
+    anchors = once(latency_anchors)
+    print()
+    print(f"on-chip remote MPB read : {anchors['onchip_cycles']:8.1f} core cycles (paper ~10^2)")
+    print(f"inter-device MPB read   : {anchors['interdevice_cycles']:8.1f} core cycles (paper ~10^4)")
+    print(f"ratio                   : {anchors['ratio']:8.1f}x (paper ~120x)")
+    print(PAPER_BANDS["interdevice_rtt_cycles"].report(anchors["interdevice_cycles"]))
+    print(PAPER_BANDS["latency_ratio"].report(anchors["ratio"]))
+    record(benchmark, **{k: round(v, 1) for k, v in anchors.items()})
+
+    assert 50 <= anchors["onchip_cycles"] <= 200
+    assert PAPER_BANDS["interdevice_rtt_cycles"].contains(anchors["interdevice_cycles"])
+    assert PAPER_BANDS["latency_ratio"].contains(anchors["ratio"])

@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Every benchmark prints the series/rows the paper reports (visible with
+``pytest benchmarks/ --benchmark-only -s``) and records the simulated
+metrics in ``benchmark.extra_info`` so they land in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record(benchmark, **extra) -> None:
+    """Attach simulated results to the pytest-benchmark record."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the harness exactly once (simulations are deterministic —
+    repeated rounds would only re-measure Python overhead)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

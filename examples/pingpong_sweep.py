@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Fig 6 as a script: ping-pong throughput over message sizes.
+
+Sweeps the on-chip protocols (RCCE vs iRCCE) and every inter-device
+scheme, printing the curves of Fig 6a/6b plus the paper's headline
+ratios (24 % of on-chip recovered; worst scheme at ~72 % of the limit).
+
+Run:  python examples/pingpong_sweep.py [--quick]
+"""
+
+import argparse
+
+from repro.bench import (
+    PAPER_BANDS,
+    SCHEME_LABELS,
+    fig6a_onchip,
+    fig6b_interdevice,
+    format_series,
+)
+from repro.vscc.schemes import CommScheme
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer sizes/iterations")
+    args = parser.parse_args()
+    sizes = (
+        (512, 8192, 65536)
+        if args.quick
+        else (32, 128, 512, 2048, 4096, 7680, 8192, 16384, 65536, 262144)
+    )
+    iters = 2 if args.quick else 4
+
+    print("=== Fig 6a: on-chip ping-pong ===")
+    onchip = fig6a_onchip(sizes, iterations=iters)
+    for label, points in onchip.items():
+        print(format_series(label, [(p.size, p.throughput_mbps) for p in points], "MB/s"))
+
+    print("\n=== Fig 6b: inter-device ping-pong (2 devices) ===")
+    inter = fig6b_interdevice(sizes, iterations=max(2, iters - 1))
+    peaks = {}
+    for scheme, points in inter.items():
+        print(format_series(SCHEME_LABELS[scheme], [(p.size, p.throughput_mbps) for p in points], "MB/s"))
+        peaks[scheme] = max(p.throughput_mbps for p in points)
+
+    onchip_peak = max(p.throughput_mbps for p in onchip["iRCCE pipelined"])
+    vdma = peaks[CommScheme.LOCAL_PUT_LOCAL_GET_VDMA]
+    hw = peaks[CommScheme.HW_ACCEL_REMOTE_PUT]
+    cached = peaks[CommScheme.LOCAL_PUT_REMOTE_GET]
+    print("\n=== paper anchors ===")
+    print(PAPER_BANDS["onchip_peak_mbps"].report(onchip_peak))
+    print(PAPER_BANDS["best_vs_onchip"].report(vdma / onchip_peak))
+    print(PAPER_BANDS["cached_vs_limit"].report(cached / hw))
+
+
+if __name__ == "__main__":
+    main()

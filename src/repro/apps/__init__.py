@@ -1,0 +1,22 @@
+"""Applications: ping-pong, NPB BT, CG, heat stencil, traffic analysis."""
+
+from .cg import CGConfig, cg_reference, run_cg
+from .pingpong import DEFAULT_SIZES, PingPongPoint, run_pingpong
+from .stencil import StencilConfig, jacobi_reference, run_stencil
+from .traffic import TrafficStats, render_traffic, traffic_matrix, traffic_stats
+
+__all__ = [
+    "CGConfig",
+    "DEFAULT_SIZES",
+    "StencilConfig",
+    "cg_reference",
+    "jacobi_reference",
+    "run_cg",
+    "run_stencil",
+    "PingPongPoint",
+    "TrafficStats",
+    "render_traffic",
+    "run_pingpong",
+    "traffic_matrix",
+    "traffic_stats",
+]

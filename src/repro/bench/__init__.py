@@ -1,0 +1,31 @@
+"""Benchmark harness: figure regeneration + calibration bands."""
+
+from .figures import (
+    ONCHIP_PAIR,
+    fig2_trace,
+    SCHEME_LABELS,
+    fig2_protocol_timeline,
+    fig6a_onchip,
+    fig6b_interdevice,
+    fig7_bt_scaling,
+    fig8_bt_traffic,
+    latency_anchors,
+)
+from .runner import Band, PAPER_BANDS, format_series, format_table, render_timeline
+
+__all__ = [
+    "Band",
+    "ONCHIP_PAIR",
+    "PAPER_BANDS",
+    "SCHEME_LABELS",
+    "fig2_protocol_timeline",
+    "fig2_trace",
+    "fig6a_onchip",
+    "fig6b_interdevice",
+    "fig7_bt_scaling",
+    "fig8_bt_traffic",
+    "format_series",
+    "render_timeline",
+    "format_table",
+    "latency_anchors",
+]

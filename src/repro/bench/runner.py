@@ -1,0 +1,116 @@
+"""Benchmark-harness utilities: sweeps, tables, and target bands.
+
+The ``benchmarks/`` suite regenerates every figure of the paper's
+evaluation; this module holds the shared machinery — pretty tables that
+print the same rows/series the paper plots, and the calibration bands
+the reproduction is expected to stay within (EXPERIMENTS.md records the
+measured values against them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Band", "PAPER_BANDS", "format_table", "format_series", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class Band:
+    """An acceptance band around a paper-reported value."""
+
+    paper_value: float
+    low: float
+    high: float
+    description: str
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def report(self, value: float) -> str:
+        status = "OK " if self.contains(value) else "OFF"
+        return (
+            f"[{status}] {self.description}: measured {value:.4g} "
+            f"(paper {self.paper_value:.4g}, band {self.low:.4g}..{self.high:.4g})"
+        )
+
+
+#: The paper's quantitative anchors and the bands we hold ourselves to.
+PAPER_BANDS: dict[str, Band] = {
+    "onchip_peak_mbps": Band(150.0, 120.0, 180.0, "on-chip peak throughput, MB/s (§4.1)"),
+    "rcce_vs_ircce_gain": Band(1.5, 1.2, 1.8, "iRCCE pipelined gain over RCCE at 256 kB"),
+    "best_vs_onchip": Band(0.24, 0.18, 0.30, "best inter-device scheme / on-chip peak (§5: 24 %)"),
+    "cached_vs_limit": Band(0.7172, 0.55, 0.85, "local-put/remote-get / hw-accel limit (§4.1: 71.72 %)"),
+    "vdma_vs_limit": Band(0.95, 0.80, 1.02, "vDMA scheme 'close to' the hw-accel limit (§4.1)"),
+    "interdevice_rtt_cycles": Band(1e4, 0.6e4, 1.6e4, "inter-device access, core cycles (§3: ~10^4)"),
+    "latency_ratio": Band(120.0, 60.0, 220.0, "inter-device vs on-chip latency ratio (§5: 120x)"),
+    "bt_max_pair_mb": Band(186.0, 120.0, 260.0, "BT class C / 64 ranks max pair traffic, MB (§4.2)"),
+}
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width table matching the style of the paper's reported rows."""
+    rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_series(title: str, points: Iterable[tuple[float, float]], unit: str) -> str:
+    """One figure series as ``x -> y`` rows."""
+    body = "\n".join(f"  {int(x):>8} B  {y:10.2f} {unit}" for x, y in points)
+    return f"{title}\n{body}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def render_timeline(records, width: int = 72) -> str:
+    """ASCII Gantt of protocol trace records (Fig 2 style).
+
+    ``records`` are :class:`repro.sim.trace.TraceRecord` of category
+    "protocol" with payload ``(rank, role, phase, index)``. Phases that
+    form spans (put_start/put_done, get_start/get_done) are drawn as
+    bars; point events (flag_set, ack_seen) as markers.
+    """
+    if not records:
+        return "(no protocol records)"
+    t0 = min(r.t for r in records)
+    t1 = max(r.t for r in records)
+    span = max(t1 - t0, 1e-9)
+
+    def col(t: float) -> int:
+        return min(width - 1, int((t - t0) / span * (width - 1)))
+
+    spans = {"put": ("put_start", "put_done", "P"), "get": ("get_start", "get_done", "G")}
+    lanes: dict[tuple, list] = {}
+    for r in records:
+        rank, role, phase, index = r.payload
+        lanes.setdefault((rank, role), []).append((phase, index, r.t))
+    lines = [f"t = 0 .. {span / 1000:.1f} us   (P = put, G = get, f = flag, a = ack)"]
+    for (rank, role), events in sorted(lanes.items()):
+        row = [" "] * width
+        open_spans: dict = {}
+        for phase, index, t in sorted(events, key=lambda e: e[2]):
+            for _name, (start_ph, end_ph, char) in spans.items():
+                if phase == start_ph:
+                    open_spans[(start_ph, index)] = t
+                elif phase == end_ph and (start_ph, index) in open_spans:
+                    a, b = col(open_spans.pop((start_ph, index))), col(t)
+                    for i in range(a, b + 1):
+                        row[i] = char
+            if phase == "flag_set":
+                row[col(t)] = "f"
+            elif phase == "ack_seen":
+                row[col(t)] = "a"
+        lines.append(f"rank {rank:>3} {role:<4} |{''.join(row)}|")
+    return "\n".join(lines)

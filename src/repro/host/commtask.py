@@ -1,0 +1,392 @@
+"""The communication task: host-side daemon serving one device.
+
+"For our prototype, the communication task has been implemented as an
+extension of a background process, also called daemon, of the device
+driver … Because the host is connected to multiple devices, our
+communication task consists of multiple threads on kernel level" (§3.2).
+
+One :class:`CommunicationTask` instance per device owns that device's
+MMIO register bank, host write-combining streams and (shared) software
+cache hooks, and implements the per-request behaviours:
+
+* **transparent routing** — the previous prototype's mode [13]: every
+  off-die read or write is an end-to-end round trip through the host,
+  one 32 B line at a time (this is the slow baseline of Fig 6b);
+* **flag fast path** — writes to registered flag regions are
+  acknowledged immediately and forwarded posted; flag reads bypass all
+  host buffers;
+* **registered buffer writes** — absorbed by a host write-combining
+  stream (remote-put scheme, Fig 4c);
+* **MMIO** — register writes reach the bank after the PCIe up-hop plus
+  host service, firing the wired handlers (vDMA, cache control, …).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.scc.mpb import MpbAddr
+from repro.sim.engine import Delay
+
+from .mmio import (
+    MmioBank,
+    REG_CACHE_INV,
+    REG_MSG_ADDR,
+    REG_MSG_COUNT,
+    REG_MSG_CTRL,
+)
+from .wcbuf import HostWriteCombiner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scc.core import CoreEnv
+
+    from .driver import Host
+
+__all__ = ["CommunicationTask"]
+
+#: Size of a routed request header packet on the wire (bytes).
+REQUEST_BYTES = 16
+#: A routed 32 B payload packet including header (bytes).
+LINE_PACKET_BYTES = 48
+#: Lines charged per simulator event when coarsening transparent
+#: transfers (a blocking reader serializes them anyway). Also the batch
+#: the SIF forwards as one routed packet on the fast-ack write path.
+COARSEN_LINES = 60
+
+
+class CommunicationTask:
+    """Host-side thread state for one attached device."""
+
+    def __init__(self, host: "Host", device_id: int):
+        self.host = host
+        self.sim = host.sim
+        self.device_id = device_id
+        self.mmio = MmioBank(device_id)
+        #: Write-combining streams keyed by source core id.
+        self._combiners: dict[int, HostWriteCombiner] = {}
+        #: Cores whose wcb_open announce has been *issued* (the open
+        #: itself fires at MMIO arrival, strictly before the data).
+        self._wcb_expected: dict[int, bool] = {}
+        self.routed_reads = 0
+        self.routed_writes = 0
+        self.flag_forwards = 0
+        self._wire_msg_handlers()
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def cable(self):
+        return self.host.cable_of(self.device_id)
+
+    def _line_rtt_ns(self, target_device: int, read: bool) -> float:
+        """End-to-end round trip for one transparently routed line."""
+        host = self.host
+        src_cable = self.cable
+        dst_cable = host.cable_of(target_device)
+        p_src, p_dst = src_cable.params, dst_cable.params
+        wire = (
+            2 * p_src.latency_ns
+            + 2 * p_dst.latency_ns
+            + 2 * p_src.packet_overhead_ns
+            + 2 * p_dst.packet_overhead_ns
+            + (REQUEST_BYTES + LINE_PACKET_BYTES) / p_src.bandwidth_bpns
+            + (REQUEST_BYTES + LINE_PACKET_BYTES) / p_dst.bandwidth_bpns
+        )
+        service = 2 * host.params.service_ns + p_dst.fpga_service_ns
+        return wire + service
+
+    def _account_routed(self, target_device: int, nbytes: int) -> None:
+        """Byte accounting for analytically charged routed transfers."""
+        src_cable = self.cable
+        dst_cable = self.host.cable_of(target_device)
+        src_cable.up.bytes_carried += nbytes
+        src_cable.down.bytes_carried += nbytes
+        dst_cable.up.bytes_carried += nbytes
+        dst_cable.down.bytes_carried += nbytes
+
+    # -- transparent routing (previous-prototype baseline) -------------------------
+
+    def transparent_read(
+        self, env: "CoreEnv", addr: MpbAddr, length: int
+    ) -> Generator:
+        """Blocking per-line routed read (the receiver stalls each line).
+
+        Lines are charged in groups of :data:`COARSEN_LINES` — a blocking
+        in-order core serializes them, so grouped charging is exact for a
+        single reader while keeping event counts tractable.
+        """
+        target = self.host.device_of(addr.device)
+        lines = max(1, -(-length // 32))
+        rtt = self._line_rtt_ns(addr.device, read=True)
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES))
+        left = lines
+        while left > 0:
+            batch = min(COARSEN_LINES, left)
+            yield Delay(batch * rtt)
+            left -= batch
+        self.routed_reads += lines
+        self._account_routed(addr.device, length + lines * REQUEST_BYTES)
+        # Data is sampled at completion time — by then every line-level
+        # round trip has observed the (stable) source buffer.
+        return target.mpb.read(addr, length)
+
+    def transparent_write(
+        self, env: "CoreEnv", addr: MpbAddr, data: np.ndarray
+    ) -> Generator:
+        """Blocking per-line routed write (end-to-end acknowledge)."""
+        target = self.host.device_of(addr.device)
+        length = len(data)
+        lines = max(1, -(-length // 32))
+        rtt = self._line_rtt_ns(addr.device, read=False)
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, length))
+        left = lines
+        while left > 0:
+            batch = min(COARSEN_LINES, left)
+            yield Delay(batch * rtt)
+            left -= batch
+        self.routed_writes += lines
+        self._account_routed(addr.device, length + lines * REQUEST_BYTES)
+        target.mpb.write(addr, data)
+
+    # -- fast-acknowledged streaming writes ------------------------------------------
+
+    def streamed_write(
+        self, env: "CoreEnv", addr: MpbAddr, data: np.ndarray, via_host_wcb: bool
+    ) -> Generator:
+        """Write stream with immediate acknowledgement at the source side.
+
+        ``via_host_wcb=False`` is the *hardware-accelerated* variant: the
+        on-board FPGA acks each WCB burst and packets are simply routed
+        to the target (the unstable upper bound of Fig 6b).
+        ``via_host_wcb=True`` is the stable remote-put scheme: the bytes
+        land in a host write-combining stream previously opened through
+        the MSG registers; delivery order versus a subsequent flag write
+        is enforced by :meth:`fence`.
+        """
+        host = self.host
+        cable = self.cable
+        length = len(data)
+        lines = max(1, -(-length // 32))
+        ack_ns = cable.params.fpga_ack_ns
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, length))
+        payload = np.frombuffer(bytes(data), np.uint8)
+
+        combiner = None
+        if via_host_wcb:
+            combiner = self._combiners.get(env.core_id)
+            if combiner is None or not self._wcb_expected.get(env.core_id):
+                raise RuntimeError(
+                    f"core {env.core_id} streamed a registered write without an "
+                    "open host write-combining stream (missing MSG announce)"
+                )
+            base = combiner.issued
+            combiner.issued += length
+
+        offset = 0
+        left = lines
+        while left > 0:
+            batch = min(COARSEN_LINES, left)
+            nbytes = min(batch * 32, length - offset)
+            # The issuing core stalls one FPGA ack per 32 B burst.
+            yield Delay(batch * ack_ns)
+            chunk = payload[offset : offset + nbytes]
+            if combiner is not None:
+                off = base + offset
+                cable.up.post(
+                    nbytes + REQUEST_BYTES,
+                    on_arrival=(lambda c=chunk, o=off: combiner.absorb(o, c)),
+                )
+            else:
+                dst_cable = host.cable_of(addr.device)
+                dst_dev = host.device_of(addr.device)
+
+                def forward(c=chunk, o=offset) -> None:
+                    dst_cable.down.post(
+                        len(c) + REQUEST_BYTES,
+                        on_arrival=lambda: dst_dev.mpb.write(addr + o, c),
+                        extra_overhead_ns=host.params.service_ns,
+                    )
+
+                cable.up.post(nbytes + REQUEST_BYTES, on_arrival=forward)
+            offset += nbytes
+            left -= batch
+
+    def small_direct_write(
+        self, env: "CoreEnv", addr: MpbAddr, data: np.ndarray
+    ) -> Generator:
+        """Sub-threshold direct transfer (§3.3).
+
+        Below the per-scheme threshold (32–128 B) a core skips the vDMA /
+        write-combining machinery and pushes the payload itself: one
+        FPGA-acked burst per line, delivered posted through the host like
+        a flag write. Low latency, no setup cost.
+        """
+        host = self.host
+        cable = self.cable
+        length = len(data)
+        lines = max(1, -(-length // 32))
+        payload = np.frombuffer(bytes(data), np.uint8).copy()
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, length))
+        yield Delay(lines * cable.params.fpga_ack_ns)
+        dst_cable = host.cable_of(addr.device)
+        dst_dev = host.device_of(addr.device)
+
+        def forward() -> None:
+            dst_cable.down.post(
+                length + REQUEST_BYTES,
+                on_arrival=lambda: dst_dev.mpb.write(addr, payload),
+                extra_overhead_ns=host.params.service_ns,
+            )
+
+        cable.up.post(length + REQUEST_BYTES, on_arrival=forward)
+
+    def issue_wcb_open(self, env: "CoreEnv", target: MpbAddr, nbytes: int) -> Generator:
+        """Sender-side announce: reserve the stream, then write the MSG regs.
+
+        The issue-time bookkeeping (reset of the stream's ``issued``
+        counter) must happen synchronously with the sender's program
+        order; the host-side :meth:`open_wcb_stream` fires when the MMIO
+        write arrives — before any of the data, since both share the
+        FIFO up-link.
+        """
+        # Every announce starts a fresh stream object so bytes of the
+        # previous chunk that are still in flight keep their identity.
+        combiner = HostWriteCombiner(
+            self.sim, self.host.dma_of(target.device), self.host.params.granule
+        )
+        self._combiners[env.core_id] = combiner
+        self._wcb_expected[env.core_id] = True
+        from .mmio import REG_MSG_ADDR, REG_MSG_COUNT
+
+        yield from self.mmio_write(
+            env,
+            [
+                (REG_MSG_ADDR, 0),
+                (REG_MSG_COUNT, nbytes),
+                (REG_MSG_CTRL, ("wcb_open", target)),
+            ],
+            fused=True,
+        )
+
+    def open_wcb_stream(self, core_id: int, target: MpbAddr, nbytes: int) -> None:
+        """MSG-register handler for the remote-put scheme (Fig 4c)."""
+        combiner = self._combiners.get(core_id)
+        if combiner is None:
+            raise RuntimeError(
+                f"wcb_open arrived for core {core_id} without an issued stream"
+            )
+        combiner.open(target, nbytes)
+
+    def fence_wcb(self, core_id: int) -> Generator:
+        # Gate on the *issue-side* expectation, not on is_open: right
+        # after the announce is issued the open has not yet arrived at
+        # the host, but a flag racing past the in-flight data would
+        # break ordering exactly then.
+        combiner = self._combiners.get(core_id)
+        if combiner is not None and self._wcb_expected.get(core_id):
+            yield from combiner.fence()
+        self._wcb_expected[core_id] = False
+
+    # -- flags --------------------------------------------------------------------------
+
+    def flag_write(
+        self, env: "CoreEnv", addr: MpbAddr, value: int, fast_ack: bool
+    ) -> Generator:
+        """Cross-device flag write.
+
+        With the vSCC extensions (``fast_ack=True``) the write "can be
+        directly acknowledged immediately" (§3.1): the sender stalls only
+        for the FPGA ack while delivery proceeds posted. A pending host
+        write-combining stream of the same core is fenced first so the
+        flag never overtakes its payload. Without extensions the write is
+        routed transparently (full round-trip stall).
+        """
+        self.flag_forwards += 1
+        host = self.host
+        if not fast_ack:
+            yield from self.transparent_write(env, addr, np.frombuffer(bytes([value]), np.uint8))
+            return
+        yield from self.fence_wcb(env.core_id)
+        cable = self.cable
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES))
+        yield Delay(cable.params.fpga_ack_ns)
+        dst_cable = host.cable_of(addr.device)
+        dst_dev = host.device_of(addr.device)
+
+        def forward() -> None:
+            dst_cable.down.post(
+                REQUEST_BYTES,
+                on_arrival=lambda: dst_dev.mpb.write_byte(addr, value),
+                extra_overhead_ns=host.params.service_ns,
+            )
+
+        cable.up.post(REQUEST_BYTES, on_arrival=forward)
+
+    # -- MMIO -----------------------------------------------------------------------------
+
+    def mmio_write(
+        self, env: "CoreEnv", regs: list[tuple[int, object]], fused: bool
+    ) -> Generator:
+        """One or more register writes from a core of this device.
+
+        ``fused=True`` models registers sharing a 32 B WCB line (the vDMA
+        block layout): one transaction regardless of register count.
+        """
+        cable = self.cable
+        transactions = 1 if fused else len(regs)
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions))
+        yield Delay(transactions * cable.params.fpga_ack_ns)
+
+        def deliver() -> None:
+            for reg, value in regs:
+                self.mmio.write(env.core_id, reg, value)
+
+        # Host service is charged as serialization *before* arrival so a
+        # register write can never be overtaken by data posted after it.
+        cable.up.post(
+            32 * transactions,
+            on_arrival=deliver,
+            extra_overhead_ns=self.host.params.service_ns,
+        )
+
+    def mmio_read(self, env: "CoreEnv", reg: int) -> Generator:
+        cable = self.cable
+        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES))
+        yield from cable.up.transfer(REQUEST_BYTES)
+        yield Delay(self.host.params.service_ns)
+        value = self.mmio.read(reg)
+        yield from cable.down.transfer(LINE_PACKET_BYTES)
+        return value
+
+    # -- MSG register wiring -----------------------------------------------------------------
+
+    def _wire_msg_handlers(self) -> None:
+        """REG_MSG_*: the sender announces a message to the task (§3.2).
+
+        The control value selects what the announcement means:
+        ``("prefetch",)`` — prefetch my MPB span into the software cache;
+        ``("wcb_open", dst_addr)`` — open a write-combining stream toward
+        ``dst_addr`` for the remote-put scheme.
+        """
+
+        def on_ctrl(core_id: int, ctrl: object) -> None:
+            offset = int(self.mmio.read(REG_MSG_ADDR))
+            count = int(self.mmio.read(REG_MSG_COUNT))
+            if not isinstance(ctrl, tuple) or not ctrl:
+                raise TypeError(f"MSG control register expects a tuple, got {ctrl!r}")
+            kind = ctrl[0]
+            if kind == "prefetch":
+                src = MpbAddr(self.device_id, core_id, offset)
+                self.host.cache.announce(src, count)
+            elif kind == "wcb_open":
+                self.open_wcb_stream(core_id, ctrl[1], count)
+            else:
+                raise ValueError(f"unknown MSG control {ctrl!r}")
+
+        def on_inv(core_id: int, value: object) -> None:
+            self.host.cache.invalidate(self.device_id, core_id)
+
+        self.mmio.on_write(REG_MSG_CTRL, on_ctrl)
+        self.mmio.on_write(REG_CACHE_INV, on_inv)

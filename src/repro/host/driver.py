@@ -1,0 +1,157 @@
+"""The host system: driver, communication tasks, and shared services.
+
+Models the paper's two-socket Xeon server with one single-port and one
+four-port PCIe expansion card — up to five SCC devices on one host (§4).
+:class:`Host` owns, per device: a :class:`~repro.host.pcie.PCIeCable`, a
+:class:`~repro.host.commtask.CommunicationTask` and a
+:class:`~repro.host.vdma.VDMAController`; and shared across devices: the
+region registry and the software MPB cache.
+
+``extensions_enabled`` switches between the previous transparent-routing
+prototype [13] (False) and the vSCC functionality this paper adds
+(True). The FPGA fast-write-ack option is refused for more than two
+devices unless ``allow_unstable=True`` — the paper reports it as
+known-unstable in that regime and uses it only as an upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.scc.chip import SCCDevice
+from repro.sim.engine import Simulator
+
+from .commtask import CommunicationTask
+from .dma import DMAEngine
+from .fabric import HostFabric
+from .pcie import PCIeCable, PCIeParams
+from .regions import Region, RegionKind, RegionRegistry
+from .softcache import HostMpbCache
+from .vdma import VDMAController
+
+__all__ = ["HostParams", "Host"]
+
+#: Physical slot limit of the paper's host (1× single-port + 1× four-port
+#: OSS-HIB5-x4 expansion card).
+MAX_DEVICES = 5
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """Host-side service costs and buffer policies."""
+
+    #: Communication-task software cost per handled request (ns).
+    service_ns: float = 2400.0
+    #: DMA granule between device MPB and host memory (bytes).
+    granule: int = 1920
+    #: Push group toward a receiving device's SIF response buffer (bytes).
+    push_group: int = 512
+    #: vDMA engine startup per programmed copy (ns).
+    vdma_setup_ns: float = 1500.0
+
+    def __post_init__(self) -> None:
+        if self.granule <= 0 or self.push_group <= 0:
+            raise ValueError("granule and push_group must be positive")
+        if self.service_ns < 0 or self.vdma_setup_ns < 0:
+            raise ValueError("service costs must be non-negative")
+
+
+class Host:
+    """The Xeon host tying up to five SCC devices into one vSCC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        devices: Sequence[SCCDevice],
+        pcie_params: Optional[PCIeParams] = None,
+        host_params: Optional[HostParams] = None,
+        extensions_enabled: bool = True,
+        fast_write_ack: bool = False,
+        allow_unstable: bool = False,
+    ):
+        if not devices:
+            raise ValueError("a host needs at least one device")
+        if len(devices) > MAX_DEVICES:
+            raise ValueError(
+                f"the host chassis takes at most {MAX_DEVICES} PCIe expansion "
+                f"cables, got {len(devices)} devices"
+            )
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate device ids: {ids}")
+        if fast_write_ack and len(devices) > 2 and not allow_unstable:
+            raise ValueError(
+                "the FPGA fast-write-acknowledge option is unstable for three "
+                "or more tightly coupled devices (paper §2.3); pass "
+                "allow_unstable=True to model it anyway"
+            )
+        self.sim = sim
+        self.params = host_params or HostParams()
+        self.pcie_params = pcie_params or PCIeParams()
+        self.extensions_enabled = extensions_enabled
+        self.devices = {d.device_id: d for d in devices}
+        self.cables = {
+            d.device_id: PCIeCable(sim, self.pcie_params, d, fast_write_ack)
+            for d in devices
+        }
+        self.dmas = {
+            d.device_id: DMAEngine(self.cables[d.device_id], self.params.granule)
+            for d in devices
+        }
+        self.tasks = {d.device_id: CommunicationTask(self, d.device_id) for d in devices}
+        self.regions = RegionRegistry()
+        self.cache = HostMpbCache(self)
+        self.vdma = {d.device_id: VDMAController(self, d.device_id) for d in devices}
+        for d in devices:
+            d.fabric = HostFabric(self, d.device_id)
+            d.sif.cable = self.cables[d.device_id]
+
+    # -- lookup ------------------------------------------------------------------
+
+    def device_of(self, device_id: int) -> SCCDevice:
+        return self.devices[device_id]
+
+    def cable_of(self, device_id: int) -> PCIeCable:
+        return self.cables[device_id]
+
+    def dma_of(self, device_id: int) -> DMAEngine:
+        return self.dmas[device_id]
+
+    def task_of(self, device_id: int) -> CommunicationTask:
+        return self.tasks[device_id]
+
+    def require_extensions(self, feature: str) -> None:
+        if not self.extensions_enabled:
+            raise RuntimeError(
+                f"{feature} require the vSCC communication-task extensions; "
+                "this host runs the transparent-routing prototype"
+            )
+
+    # -- registration (RCCE init calls this per rank) -----------------------------------
+
+    def register_rank_regions(self, device_id: int, core_id: int) -> None:
+        """Register a core's MPB payload + SF spans with the task (§3.1)."""
+        device = self.devices[device_id]
+        payload = device.params.mpb_payload_bytes
+        self.regions.register(
+            Region(device_id, core_id, 0, payload, RegionKind.BUFFER)
+        )
+        self.regions.register(
+            Region(
+                device_id,
+                core_id,
+                payload,
+                device.params.sf_bytes,
+                RegionKind.FLAG,
+            )
+        )
+
+    # -- stats -----------------------------------------------------------------------------
+
+    def pcie_bytes(self) -> dict[int, tuple[int, int]]:
+        """(up, down) bytes per device cable."""
+        return {
+            dev_id: (cable.bytes_up, cable.bytes_down)
+            for dev_id, cable in self.cables.items()
+        }

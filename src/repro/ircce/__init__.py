@@ -1,0 +1,26 @@
+"""iRCCE: non-blocking + pipelined extensions to RCCE [Clauss et al.].
+
+Public surface::
+
+    from repro.ircce import PipelinedTransport, isend, irecv, CommRequest
+"""
+
+from .nonblocking import (
+    CommRequest,
+    irecv,
+    isend,
+    recv_any_source,
+    wait_all,
+    wait_any,
+)
+from .pipeline import PipelinedTransport
+
+__all__ = [
+    "CommRequest",
+    "PipelinedTransport",
+    "irecv",
+    "isend",
+    "recv_any_source",
+    "wait_all",
+    "wait_any",
+]

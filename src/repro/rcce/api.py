@@ -1,0 +1,276 @@
+"""The RCCE communicator: per-rank handle for message passing.
+
+A :class:`Rcce` instance is one rank's view of the session — bound to a
+core's :class:`~repro.scc.core.CoreEnv`, a shared
+:class:`~repro.rcce.config.RankLayout` and a
+:class:`~repro.rcce.transport.TransportSelector`. Application programs
+are generators that receive their ``Rcce`` and ``yield from`` its
+operations::
+
+    def program(comm: Rcce):
+        if comm.rank == 0:
+            yield from comm.send(payload, dest=1)
+        elif comm.rank == 1:
+            data = yield from comm.recv(len(payload), src=0)
+
+The non-gory interface is blocking send/recv plus collectives; the gory
+one-sided layer is reachable through :attr:`gory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.host.mmio import REG_CACHE_INV, REG_MSG_ADDR, REG_MSG_COUNT, REG_MSG_CTRL
+from repro.scc.core import CoreEnv
+from repro.scc.mpb import MpbAddr
+from repro.scc.params import CACHE_LINE
+
+from . import collectives
+from .config import RankLayout
+from .flags import FlagLayout
+from .gory import Gory
+from .malloc import MpbAllocator
+from .transport import TransportSelector
+
+__all__ = ["RcceOptions", "Rcce"]
+
+Bytes = Union[bytes, bytearray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class RcceOptions:
+    """Session-wide protocol configuration (identical on every rank)."""
+
+    #: Use the iRCCE pipelined protocol for large on-chip messages.
+    pipelined: bool = False
+    #: Static threshold above which pipelining engages (paper §4.1: 4 kB).
+    pipeline_threshold: int = 4096
+    #: Pipeline packet size; None = half the MPB payload (two slots).
+    pipeline_packet: Optional[int] = None
+    #: Bytes at the top of the MPB payload reserved for gory users
+    #: (``RCCE_malloc``); the rest is the send/recv communication buffer.
+    user_mpb_bytes: int = 0
+
+
+class Rcce:
+    """One rank of an RCCE session."""
+
+    def __init__(
+        self,
+        env: CoreEnv,
+        layout: RankLayout,
+        options: Optional[RcceOptions] = None,
+        selector: Optional[TransportSelector] = None,
+        flags: Optional[FlagLayout] = None,
+    ):
+        from .transport import OnChipSelector  # avoid import cycle at module load
+
+        self.env = env
+        self.layout = layout
+        self.options = options or RcceOptions()
+        self.rank = layout.rank_of(env.device.device_id, env.core_id)
+        self.flags = flags or FlagLayout(layout, env.params)
+        self.selector = selector or OnChipSelector(self.options)
+
+        payload = env.params.mpb_payload_bytes
+        user = -(-self.options.user_mpb_bytes // CACHE_LINE) * CACHE_LINE
+        if user >= payload:
+            raise ValueError(
+                f"user_mpb_bytes={self.options.user_mpb_bytes} leaves no room "
+                f"for the communication buffer ({payload} B payload)"
+            )
+        self.comm_buffer_bytes = payload - user
+        self.user_mpb_base = self.comm_buffer_bytes
+        self.user_mpb_bytes = user
+        self._alloc = MpbAllocator(user) if user else None
+        self.gory = Gory(self)
+        self._seq: dict[tuple[int, int], int] = {}
+        self.sends = 0
+        self.recvs = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Rcce rank={self.rank}/{self.num_ranks}>"
+
+    # -- identity -----------------------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        return self.layout.num_ranks
+
+    def comm_buffer_addr(self, rank: int, offset: int = 0) -> MpbAddr:
+        """Address of a rank's communication buffer (chunk staging area)."""
+        device, core = self.layout.placement(rank)
+        if not 0 <= offset < self.comm_buffer_bytes:
+            raise ValueError(f"offset {offset} outside the communication buffer")
+        return MpbAddr(device, core, offset)
+
+    # -- sequencing / chunking (shared by all transports) -----------------------------
+
+    def next_seq(self, src: int, dst: int, channel: str = "sent") -> int:
+        """Advance a per-directed-pair counter stream (1…254, cycling).
+
+        Each *channel* ("sent", "ready", …) is an independent stream so
+        a flag byte's values are always produced by exactly one protocol
+        role; both end points advance the streams in lockstep.
+        """
+        key = (src, dst, channel)
+        seq = FlagLayout.next_seq(self._seq.get(key, 0))
+        self._seq[key] = seq
+        return seq
+
+    def iter_chunk_sizes(self, nbytes: int) -> Iterator[tuple[int, int]]:
+        """(start, size) chunks of the communication buffer capacity."""
+        if nbytes == 0:
+            yield (0, 0)
+            return
+        start = 0
+        while start < nbytes:
+            size = min(self.comm_buffer_bytes, nbytes - start)
+            yield (start, size)
+            start += size
+
+    def iter_chunks(self, data: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
+        for start, size in self.iter_chunk_sizes(len(data)):
+            yield start, data[start : start + size]
+
+    # -- point-to-point -----------------------------------------------------------------
+
+    @staticmethod
+    def _as_bytes(data: Bytes) -> np.ndarray:
+        if isinstance(data, np.ndarray):
+            return np.frombuffer(data.tobytes(), np.uint8)
+        return np.frombuffer(bytes(data), np.uint8)
+
+    def _pending_chain(self, key: str):
+        chains = getattr(self, "_nb_chains", None)
+        if chains is None:
+            return None
+        proc = chains.get(key)
+        return proc if proc is not None and not proc.finished else None
+
+    def send(self, data: Bytes, dest: int) -> Generator:
+        """Blocking send (returns when the receiver completed its recv).
+
+        Queues behind any pending non-blocking sends of this rank: all
+        sends share the MPB staging buffer, so they serialize (iRCCE\'s
+        request-queue semantics).
+        """
+        pending = self._pending_chain("send")
+        if pending is not None:
+            yield pending
+        yield from self._send_now(self._as_bytes(data), dest)
+
+    def _send_now(self, payload: np.ndarray, dest: int) -> Generator:
+        if dest == self.rank:
+            raise ValueError("a rank cannot send to itself")
+        self.layout.record_traffic(self.rank, dest, len(payload))
+        self.sends += 1
+        transport = self.selector.select(self, dest, len(payload))
+        yield from transport.send(self, dest, payload)
+
+    def recv(self, nbytes: int, src: int) -> Generator:
+        """Blocking receive of exactly ``nbytes``; returns a uint8 array.
+
+        Queues behind any pending non-blocking receives *from the same
+        source* (per-pair ordering; receives from other sources are
+        independent — they drain the senders' buffers).
+        """
+        pending = self._pending_chain(("recv", src))
+        if pending is not None:
+            yield pending
+        data = yield from self._recv_now(nbytes, src)
+        return data
+
+    def _recv_now(self, nbytes: int, src: int) -> Generator:
+        if src == self.rank:
+            raise ValueError("a rank cannot receive from itself")
+        if nbytes < 0:
+            raise ValueError(f"negative receive size {nbytes}")
+        self.recvs += 1
+        transport = self.selector.select(self, src, nbytes)
+        data = yield from transport.recv(self, src, nbytes)
+        return data
+
+    # -- collectives -----------------------------------------------------------------------
+
+    def barrier(self, group_size: Optional[int] = None) -> Generator:
+        yield from collectives.barrier(self, group_size)
+
+    def bcast(
+        self,
+        data: Optional[Bytes],
+        nbytes: int,
+        root: int,
+        group_size: Optional[int] = None,
+    ) -> Generator:
+        payload = None if data is None else self._as_bytes(data)
+        result = yield from collectives.bcast(self, payload, nbytes, root, group_size)
+        return result
+
+    def reduce(
+        self,
+        values: np.ndarray,
+        op=np.add,
+        root: int = 0,
+        group_size: Optional[int] = None,
+    ) -> Generator:
+        result = yield from collectives.reduce(self, values, op, root, group_size)
+        return result
+
+    def allreduce(
+        self, values: np.ndarray, op=np.add, group_size: Optional[int] = None
+    ) -> Generator:
+        result = yield from collectives.allreduce(self, values, op, group_size)
+        return result
+
+    # -- gory-layer allocator ----------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Collective symmetric MPB allocation (call on every rank)."""
+        if self._alloc is None:
+            raise RuntimeError(
+                "no user MPB area: construct the session with "
+                "RcceOptions(user_mpb_bytes=...)"
+            )
+        return self._alloc.malloc(size)
+
+    def mfree(self, offset: int) -> None:
+        if self._alloc is None:
+            raise RuntimeError("no user MPB area configured")
+        self._alloc.free(offset)
+
+    # -- vSCC host cooperation (used by inter-device transports) -------------------------------
+
+    def announce_prefetch(self, nbytes: int) -> Generator:
+        """Tell the communication task where the pending chunk lives.
+
+        Three MSG registers in one 32 B block — the WCB fuses the writes
+        into a single transaction, like the vDMA programming sequence.
+        """
+        yield from self.env.device.fabric.mmio_write_block(
+            self.env,
+            [
+                (REG_MSG_ADDR, 0),
+                (REG_MSG_COUNT, nbytes),
+                (REG_MSG_CTRL, ("prefetch",)),
+            ],
+            fused=True,
+        )
+
+    def announce_wcb_open(self, dst_addr: MpbAddr, nbytes: int) -> Generator:
+        """Open a host write-combining stream toward ``dst_addr`` (Fig 4c)."""
+        yield from self.env.device.fabric.wcb_open(self.env, dst_addr, nbytes)
+
+    def cache_invalidate(self) -> Generator:
+        """Invalidate the host's stale copy of my MPB (§3.1).
+
+        "The sender that writes to a local MPB explicitly invalidates
+        the outdated part of the host copy" — mandatory under the
+        relaxed consistency of the software cache whenever the buffer is
+        rewritten without a new announcement.
+        """
+        yield from self.env.device.fabric.mmio_write(self.env, REG_CACHE_INV, 1, fused=True)

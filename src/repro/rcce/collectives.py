@@ -1,0 +1,232 @@
+"""Collective operations built on blocking send/recv.
+
+RCCE ships a small set of collectives on top of its two-sided interface;
+we implement binomial-tree versions, which are deadlock-free under
+RCCE's *synchronous* blocking semantics (a send only returns once the
+matching receive completed) because every tree phase is a pure
+parent/child ordering with no cyclic waits.
+
+All coroutines take the calling rank's :class:`~repro.rcce.api.Rcce` as
+first argument; every rank of the session must call the same collective
+in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .api import Rcce
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather"]
+
+_TOKEN = b"\x00"
+
+
+def barrier(
+    comm: "Rcce",
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Binomial-tree gather + release with one-byte tokens.
+
+    ``group_size`` restricts the collective to ranks ``0 … group_size-1``
+    (an application running on a subset of the session, like BT on 225
+    of 240 cores); ``members`` names an arbitrary ordered group
+    (communicator splitting).
+    """
+    me, n, ranks = _resolve(comm, group_size, members)
+    if n == 1:
+        return
+    lsb = me & -me if me else n_pow2(n)
+    # Gather phase: collect children, then report to the parent.
+    k = 1
+    while k < lsb:
+        child = me + k
+        if child < n:
+            yield from comm.recv(1, ranks[child])
+        k <<= 1
+    if me:
+        parent = ranks[me - (me & -me)]
+        yield from comm.send(_TOKEN, parent)
+        yield from comm.recv(1, parent)
+    # Release phase: wake children in reverse order.
+    ks = []
+    k = 1
+    while k < lsb:
+        if me + k < n:
+            ks.append(k)
+        k <<= 1
+    for k in reversed(ks):
+        yield from comm.send(_TOKEN, ranks[me + k])
+
+
+def n_pow2(n: int) -> int:
+    """Smallest power of two ≥ n (tree span for the root)."""
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def _resolve(comm: "Rcce", group_size: Optional[int], members) -> tuple[int, int, list]:
+    """(my index, group size, member list) for a collective call.
+
+    ``members`` (an ordered list of global ranks) generalizes the
+    ``group_size`` prefix-group shorthand — it is what communicator
+    splitting (:mod:`repro.rcce.comm`) passes down.
+    """
+    if members is not None:
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ranks in the collective group")
+        try:
+            me = members.index(comm.rank)
+        except ValueError:
+            raise ValueError(
+                f"rank {comm.rank} outside the collective group {members}"
+            ) from None
+        return me, len(members), members
+    n = group_size or comm.num_ranks
+    if comm.rank >= n:
+        raise ValueError(f"rank {comm.rank} outside the collective group of {n}")
+    return comm.rank, n, list(range(n))
+
+
+def _group(comm: "Rcce", group_size: Optional[int]) -> int:
+    n = group_size or comm.num_ranks
+    if comm.rank >= n:
+        raise ValueError(f"rank {comm.rank} outside the collective group of {n}")
+    return n
+
+
+def bcast(
+    comm: "Rcce",
+    data: Optional[np.ndarray],
+    nbytes: int,
+    root: int,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Binomial-tree broadcast; returns the payload on every rank.
+
+    ``root`` is an index *within the group* (= the global rank for the
+    default whole-session group).
+    """
+    me, n, ranks = _resolve(comm, group_size, members)
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    if me == root:
+        if data is None or len(data) != nbytes:
+            raise ValueError("root must supply exactly nbytes of data")
+        payload = data
+    else:
+        payload = None
+    if n == 1:
+        return payload
+    vr = (me - root) % n
+    mask = 1
+    while mask < n:
+        if vr & mask:
+            src = (vr - mask + root) % n
+            payload = yield from comm.recv(nbytes, ranks[src])
+            break
+        mask <<= 1
+    else:
+        mask = n_pow2(n)
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < n:
+            dst = (vr + mask + root) % n
+            yield from comm.send(payload, ranks[dst])
+        mask >>= 1
+    return payload
+
+
+def reduce(
+    comm: "Rcce",
+    values: np.ndarray,
+    op,
+    root: int,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Reverse binomial-tree reduction of a float64 vector.
+
+    Returns the reduced vector at ``root`` and ``None`` elsewhere. The
+    combination order is deterministic (tree order), so results are
+    bit-reproducible across runs — though not identical to a sequential
+    left-fold, as in any tree reduction.
+    """
+    me, n, ranks = _resolve(comm, group_size, members)
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    acc = np.array(values, dtype=np.float64, copy=True)
+    if n == 1:
+        return acc
+    vr = (me - root) % n
+    mask = 1
+    while mask < n:
+        if vr & mask == 0:
+            src_vr = vr + mask
+            if src_vr < n:
+                src = (src_vr + root) % n
+                raw = yield from comm.recv(acc.nbytes, ranks[src])
+                acc = op(acc, raw.view(np.float64))
+        else:
+            dst = (vr - mask + root) % n
+            yield from comm.send(acc, ranks[dst])
+            return None
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    comm: "Rcce",
+    values: np.ndarray,
+    op,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Reduce to group index 0, then broadcast the result to everyone."""
+    reduced = yield from reduce(
+        comm, values, op, root=0, group_size=group_size, members=members
+    )
+    nbytes = np.asarray(values, dtype=np.float64).nbytes
+    raw = yield from bcast(
+        comm,
+        None if reduced is None else comm._as_bytes(reduced),
+        nbytes,
+        root=0,
+        group_size=group_size,
+        members=members,
+    )
+    return np.asarray(raw, np.uint8).view(np.float64).copy()
+
+
+def gather(
+    comm: "Rcce",
+    value: np.ndarray,
+    root: int,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Linear gather of equal-size contributions to ``root``.
+
+    RCCE's own utility collectives are linear; gather is only used for
+    result collection, never on the critical path.
+    """
+    me, n, ranks = _resolve(comm, group_size, members)
+    payload = comm._as_bytes(value)
+    if me == root:
+        parts = [None] * n
+        parts[me] = payload
+        for r in range(n):
+            if r == root:
+                continue
+            parts[r] = yield from comm.recv(len(payload), ranks[r])
+        return parts
+    yield from comm.send(payload, ranks[root])
+    return None

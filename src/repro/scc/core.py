@@ -1,0 +1,379 @@
+"""Execution context of one simulated P54C core.
+
+A *program* (RCCE application code) runs as a simulator process and calls
+the coroutine methods of its :class:`CoreEnv` for everything that costs
+simulated time: computing, touching private memory, reading/writing the
+on-chip MPB, setting and polling synchronization flags, and programming
+memory-mapped registers (which reach the host through the device fabric).
+
+Timing is charged at cache-line (32 B) granularity per the model in
+:class:`repro.scc.params.SCCParams`. Payload bytes are moved for real.
+
+Simplification (see DESIGN.md §6): the L1 MPBT model affects *timing*
+only — reads always observe current memory contents. The CL1INVMB
+discipline is still exercised (RCCE issues it before every read sequence)
+and its cost is charged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional, Union
+
+import numpy as np
+
+from repro.sim.engine import Delay
+from repro.sim.errors import SimulationError
+
+from .cache import L1MpbtCache
+from .mpb import MpbAddr
+from .params import CACHE_LINE
+from .wcb import WriteCombineBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .chip import SCCDevice
+
+__all__ = ["CoreEnv"]
+
+Bytes = Union[bytes, bytearray, np.ndarray]
+
+#: Guard for flag waits: no experiment in the paper blocks longer than
+#: this (1 simulated minute); exceeding it indicates a protocol deadlock.
+DEFAULT_FLAG_TIMEOUT_NS = 60e9
+
+#: Above this many bytes, per-line L1 bookkeeping is skipped and the
+#: transfer is charged in bulk (streaming access never re-hits lines).
+BULK_THRESHOLD_BYTES = 256
+
+
+class CoreEnv:
+    """One core of one SCC device: timing + memory-operation coroutines."""
+
+    def __init__(self, device: "SCCDevice", core_id: int):
+        self.device = device
+        self.core_id = core_id
+        self.sim = device.sim
+        self.params = device.params
+        self.tile = device.params.tile_of_core(core_id)
+        self.l1 = L1MpbtCache()
+        self.wcb = WriteCombineBuffer()
+        self.stats: dict[str, float] = {
+            "mpb_bytes_read": 0,
+            "mpb_bytes_written": 0,
+            "private_bytes": 0,
+            "flag_sets": 0,
+            "flag_polls": 0,
+            "compute_ns": 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CoreEnv dev={self.device.device_id} core={self.core_id}>"
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def xyz(self) -> tuple[int, int, int]:
+        """vSCC coordinate (tile x, tile y, device) of this core (paper §3)."""
+        x, y = self.params.core_xy(self.core_id)
+        return (x, y, self.device.device_id)
+
+    def local_addr(self, offset: int) -> MpbAddr:
+        """Address ``offset`` within this core's own LMB half."""
+        return MpbAddr(self.device.device_id, self.core_id, offset)
+
+    def _is_local(self, addr: MpbAddr) -> bool:
+        return (
+            addr.device == self.device.device_id
+            and self.params.tile_of_core(addr.core) == self.tile
+        )
+
+    @property
+    def clock_scale(self) -> float:
+        """Core-cycle cost multiplier from the tile's frequency divider.
+
+        1.0 at the calibrated baseline (533 MHz); a down-clocked tile
+        computes, copies and polls proportionally slower. Mesh and
+        memory domains are independent clocks and unaffected — their
+        share of the per-line costs is folded into the core-cycle model
+        (DESIGN.md §6), so scaling the whole per-line cost is the
+        documented approximation.
+        """
+        return self.device.power.clock_scale(self.tile)
+
+    def _fabric(self):
+        fabric = self.device.fabric
+        if fabric is None:
+            raise SimulationError(
+                f"core {self.core_id} of device {self.device.device_id} issued an "
+                "off-die access but no interconnect fabric is attached"
+            )
+        return fabric
+
+    # -- compute ------------------------------------------------------------------
+
+    def compute(self, ns: float = 0.0, cycles: float = 0.0) -> Generator:
+        """Charge pure compute time (``cycles`` are core cycles)."""
+        total = (ns + self.params.core_clock.cycles(cycles)) * self.clock_scale
+        self.stats["compute_ns"] += total
+        if total > 0:
+            yield Delay(total)
+
+    def compute_flops(self, flops: float, flops_per_cycle: float) -> Generator:
+        """Charge compute for ``flops`` at a sustained per-cycle rate."""
+        if flops_per_cycle <= 0:
+            raise ValueError("flops_per_cycle must be positive")
+        yield from self.compute(cycles=flops / flops_per_cycle)
+
+    # -- private memory -------------------------------------------------------------
+
+    def private_read(self, nbytes: int) -> Generator:
+        yield from self._private_access(nbytes, self.params.dram_read_line_ns())
+
+    def private_write(self, nbytes: int) -> Generator:
+        yield from self._private_access(nbytes, self.params.dram_write_line_ns())
+
+    def _private_access(self, nbytes: int, line_ns: float) -> Generator:
+        """Private DRAM access: core-side cost overlapped with the
+        quadrant memory controller's FIFO occupancy (contention only
+        bites when several cores of one quadrant stream at once)."""
+        lines = -(-nbytes // CACHE_LINE)
+        self.stats["private_bytes"] += nbytes
+        core_side = lines * line_ns * self.clock_scale
+        mc_wait = self.device.memctrl.occupancy_wait_ns(self.core_id, nbytes)
+        yield Delay(max(core_side, mc_wait))
+
+    # -- MPB reads ---------------------------------------------------------------------
+
+    def cl1invmb(self) -> Generator:
+        """Invalidate all MPBT lines in L1 (single instruction)."""
+        self.l1.cl1invmb()
+        yield Delay(
+            self.params.core_clock.cycles(self.params.cl1invmb_cycles)
+            * self.clock_scale
+        )
+
+    def mpb_read(self, addr: MpbAddr, length: int, assume_cold: bool = False) -> Generator:
+        """Read ``length`` bytes of on-chip memory; returns an ndarray.
+
+        Off-die addresses are delegated to the attached fabric (the
+        host-routed path of vSCC).
+        """
+        if addr.device != self.device.device_id:
+            data = yield from self._fabric().remote_read(self, addr, length)
+            self.stats["mpb_bytes_read"] += length
+            return data
+        p = self.params
+        mem = self.device.mpb
+        mem.check_span(addr, length)
+        local = self._is_local(addr)
+        hops = 0 if local else p.hops(self.core_id, addr.core)
+        cost = self._read_cost_ns(addr, length, local, hops, assume_cold)
+        cost *= self.clock_scale
+        if not local:
+            self.device.router.account(self.tile, p.tile_of_core(addr.core), length)
+        self.stats["mpb_bytes_read"] += length
+        yield Delay(cost)
+        return mem.read(addr, length)
+
+    def _read_cost_ns(
+        self, addr: MpbAddr, length: int, local: bool, hops: int, assume_cold: bool
+    ) -> float:
+        p = self.params
+        lines = max(1, -(-length // CACHE_LINE))
+        if local:
+            miss_ns = p.local_read_ns(l1_hit=False)
+        else:
+            miss_ns = p.remote_read_ns(hops)
+        if assume_cold or length > BULK_THRESHOLD_BYTES:
+            return lines * miss_ns
+        flat = self.device.mpb.flat(addr)
+        cost = 0.0
+        for line in range(flat // CACHE_LINE, (flat + max(length, 1) - 1) // CACHE_LINE + 1):
+            tag = ("mpb", addr.device, line)
+            if self.l1.lookup(tag):
+                cost += p.local_read_ns(l1_hit=True)
+            else:
+                cost += miss_ns
+        return cost
+
+    # -- MPB writes -----------------------------------------------------------------------
+
+    def mpb_write(self, addr: MpbAddr, data: Bytes) -> Generator:
+        """Write ``data`` to on-chip memory (through the WCB)."""
+        if addr.device != self.device.device_id:
+            yield from self._fabric().remote_write(self, addr, data)
+            self.stats["mpb_bytes_written"] += len(data)
+            return
+        p = self.params
+        mem = self.device.mpb
+        length = len(data)
+        mem.check_span(addr, length)
+        lines = max(1, -(-length // CACHE_LINE))
+        self.stats["mpb_bytes_written"] += length
+        if self._is_local(addr):
+            yield Delay(lines * p.local_write_ns() * self.clock_scale)
+            mem.write(addr, data)
+        else:
+            hops = p.hops(self.core_id, addr.core)
+            self.device.router.account(self.tile, p.tile_of_core(addr.core), length)
+            yield Delay(lines * p.remote_write_ns(hops) * self.clock_scale)
+            payload = bytes(data)
+            arrival = self.sim.now + p.remote_write_arrival_ns(hops)
+            self.sim.call_at(arrival, lambda: mem.write(addr, payload))
+
+    # -- synchronization flags ----------------------------------------------------------------
+
+    def set_flag(self, addr: MpbAddr, value: int) -> Generator:
+        """Write a one-byte flag (WCB is flushed first, as RCCE does)."""
+        self.wcb.flush()
+        self.stats["flag_sets"] += 1
+        if addr.device != self.device.device_id:
+            yield from self._fabric().remote_flag_write(self, addr, value)
+            return
+        p = self.params
+        mem = self.device.mpb
+        if self._is_local(addr):
+            yield Delay(p.local_write_ns() * self.clock_scale)
+            mem.write_byte(addr, value)
+        else:
+            hops = p.hops(self.core_id, addr.core)
+            self.device.router.account(self.tile, p.tile_of_core(addr.core), 1)
+            yield Delay(p.remote_write_ns(hops) * self.clock_scale)
+            arrival = self.sim.now + p.remote_write_arrival_ns(hops)
+            self.sim.call_at(arrival, lambda: mem.write_byte(addr, value))
+
+    def read_flag(self, addr: MpbAddr) -> Generator:
+        """Read a one-byte flag; RCCE only ever reads *local* flags."""
+        if addr.device != self.device.device_id:
+            data = yield from self._fabric().remote_read(self, addr, 1)
+            return int(data[0])
+        p = self.params
+        local = self._is_local(addr)
+        hops = 0 if local else p.hops(self.core_id, addr.core)
+        yield Delay(
+            (p.local_read_ns() if local else p.remote_read_ns(hops))
+            * self.clock_scale
+        )
+        return self.device.mpb.read_byte(addr)
+
+    def wait_flag(
+        self,
+        addr: MpbAddr,
+        value: int,
+        timeout_ns: Optional[float] = DEFAULT_FLAG_TIMEOUT_NS,
+    ) -> Generator:
+        """Busy-wait until the (local) flag equals ``value``."""
+        yield from self.wait_flag_pred(addr, lambda v: v == value, timeout_ns)
+
+    def wait_flag_pred(
+        self,
+        addr: MpbAddr,
+        predicate,
+        timeout_ns: Optional[float] = DEFAULT_FLAG_TIMEOUT_NS,
+    ) -> Generator:
+        """Busy-wait until ``predicate(flag_byte)`` holds on a local flag.
+
+        Each poll costs a poll iteration plus a local read; between polls
+        the process parks on the memory watchpoint, so a long wait is one
+        simulator event, not thousands. Counter-valued flags (the
+        pipelined and vDMA protocols) wait with ``>=`` predicates here.
+        """
+        if addr.device != self.device.device_id or not self._is_local(addr):
+            raise SimulationError(
+                "wait_flag on a non-local flag — RCCE's protocol only polls "
+                f"local flags (core {self.core_id}, flag at {addr})"
+            )
+        p = self.params
+        mem = self.device.mpb
+        poll_ns = (
+            p.core_clock.cycles(p.flag_poll_cycles) + p.local_read_ns()
+        ) * self.clock_scale
+        deadline = None if timeout_ns is None else self.sim.now + timeout_ns
+        while True:
+            self.stats["flag_polls"] += 1
+            yield Delay(poll_ns)
+            if predicate(mem.read_byte(addr)):
+                return
+            if deadline is not None and self.sim.now > deadline:
+                raise SimulationError(
+                    f"flag wait timed out: dev {self.device.device_id} core "
+                    f"{self.core_id} waiting at {addr}"
+                )
+            yield mem.watch(addr)
+
+    def wait_any_flag(
+        self,
+        specs: list,
+        timeout_ns: Optional[float] = DEFAULT_FLAG_TIMEOUT_NS,
+    ) -> Generator:
+        """Busy-wait until any of several local flags satisfies its predicate.
+
+        ``specs`` is a list of ``(addr, predicate)`` pairs; returns the
+        index of the first satisfied entry (scanned in order per poll —
+        iRCCE's wildcard receive probes its pending-request list the
+        same way). Between polls the process parks until *any* watched
+        byte is written.
+        """
+        p = self.params
+        mem = self.device.mpb
+        for addr, _pred in specs:
+            if addr.device != self.device.device_id or not self._is_local(addr):
+                raise SimulationError(
+                    f"wait_any_flag on non-local flag {addr} (core {self.core_id})"
+                )
+        poll_ns = (
+            p.core_clock.cycles(p.flag_poll_cycles) + p.local_read_ns()
+        ) * self.clock_scale
+        deadline = None if timeout_ns is None else self.sim.now + timeout_ns
+        while True:
+            self.stats["flag_polls"] += 1
+            yield Delay(poll_ns * len(specs))
+            for index, (addr, pred) in enumerate(specs):
+                if pred(mem.read_byte(addr)):
+                    return index
+            if deadline is not None and self.sim.now > deadline:
+                raise SimulationError(
+                    f"wait_any_flag timed out on core {self.core_id}"
+                )
+            gate = self.sim.event(name="wait_any_flag")
+            fired = [False]
+
+            def wake() -> None:
+                if not fired[0]:
+                    fired[0] = True
+                    gate.trigger()
+
+            for addr, _pred in specs:
+                mem.watch(addr).once(wake)
+            yield gate
+
+    # -- test-and-set ------------------------------------------------------------------------------
+
+    def tas_acquire(self, target_core: int, spin: bool = True) -> Generator:
+        """Acquire the T&S register of ``target_core`` on this device."""
+        tas = self.device.tas
+        while True:
+            yield Delay(tas.access_ns(self.core_id, target_core))
+            if tas.try_acquire(target_core):
+                return
+            if not spin:
+                return False
+            yield tas.released_signal(target_core)
+
+    def tas_release(self, target_core: int) -> Generator:
+        tas = self.device.tas
+        yield Delay(tas.access_ns(self.core_id, target_core))
+        tas.release(target_core)
+
+    # -- memory-mapped registers (host-provided functionality) -------------------------------------
+
+    def mmio_write(self, reg: int, value: int, fused: bool = False) -> Generator:
+        """Write a host MMIO register (vDMA programming, cache control).
+
+        ``fused=True`` marks a write the WCB may combine with neighbours
+        in the same 32 B block — used by the vDMA register layout.
+        """
+        yield from self._fabric().mmio_write(self, reg, value, fused)
+
+    def mmio_read(self, reg: int) -> Generator:
+        value = yield from self._fabric().mmio_read(self, reg)
+        return value

@@ -1,0 +1,74 @@
+"""The SCC's four memory controllers: private-DRAM contention.
+
+The chip's off-die DRAM hangs off four memory controllers at the mesh
+edges; each core's private memory lives behind the controller of its
+quadrant (the default sccKit configuration distributes the 48 Linux
+instances "over four memory controllers", paper §2.1).
+
+Uncontended timing is unchanged from the per-line latency model that
+the throughput calibration rests on — a single core is bound by its own
+P54C access rate, far below a controller's bandwidth. What this module
+adds is the *shared* resource: each controller sustains roughly four
+cores' worth of streaming demand, so when many cores of one quadrant
+stream private memory simultaneously (NPB-style compute phases), they
+queue FIFO and slow down — the behaviour a fixed per-core latency
+cannot express.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.resources import Link
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .chip import SCCDevice
+
+__all__ = ["MemoryControllers"]
+
+#: Streaming demand multiple one controller sustains (≈ 4 cores' worth).
+CORES_WORTH_OF_BANDWIDTH = 4.0
+
+
+class MemoryControllers:
+    """Four quadrant controllers of one device, modeled as FIFO pipes."""
+
+    def __init__(self, device: "SCCDevice"):
+        self.device = device
+        params = device.params
+        # One core's peak streaming rate: a 32 B line per (faster of the
+        # two) DRAM line costs.
+        line_ns = min(params.dram_read_line_ns(), params.dram_write_line_ns())
+        bandwidth = CORES_WORTH_OF_BANDWIDTH * 32.0 / line_ns
+        self.links = [
+            Link(
+                device.sim,
+                f"mc{device.device_id}.{i}",
+                latency_ns=0.0,
+                bandwidth_bpns=bandwidth,
+                overhead_ns=0.0,
+            )
+            for i in range(4)
+        ]
+
+    def controller_of(self, core_id: int) -> int:
+        """Quadrant assignment: west/east × south/north."""
+        params = self.device.params
+        x, y = params.core_xy(core_id)
+        west = x < (params.tiles_x + 1) // 2
+        south = y < (params.tiles_y + 1) // 2
+        return (0 if west else 1) + (0 if south else 2)
+
+    def occupancy_wait_ns(self, core_id: int, nbytes: int) -> float:
+        """Reserve controller bandwidth; returns extra wait beyond *now*.
+
+        The caller overlaps this with its own per-line access cost: an
+        uncontended access finishes at its core-side cost; a contended
+        one waits for the controller's FIFO.
+        """
+        link = self.links[self.controller_of(core_id)]
+        arrival = link._occupy(nbytes)
+        return max(0.0, arrival - self.device.sim.now)
+
+    def bytes_served(self) -> list[int]:
+        return [link.bytes_carried for link in self.links]

@@ -1,0 +1,60 @@
+"""2D mesh network-on-chip: XY routing and traffic accounting.
+
+The SCC mesh is dimension-ordered (X first, then Y). Within the paper's
+experiments the mesh itself is never the bottleneck — inter-device PCIe
+is 120× slower — so on-die transfers are charged analytically from
+:class:`repro.scc.params.SCCParams` rather than arbitrated per flit
+(DESIGN.md §6). The router here provides the path/hop geometry those
+analytic costs use, plus per-link byte counters that tests use to verify
+the routing invariants and that benches can inspect for hot links.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .params import SCCParams
+
+__all__ = ["XYRouter"]
+
+
+class XYRouter:
+    """Dimension-ordered routing over the ``tiles_x`` × ``tiles_y`` mesh."""
+
+    def __init__(self, params: SCCParams):
+        self.params = params
+        #: bytes carried per directed link ((x,y) -> (x',y')).
+        self.link_bytes: Counter[tuple[tuple[int, int], tuple[int, int]]] = Counter()
+
+    def path(self, src_tile: int, dst_tile: int) -> list[tuple[int, int]]:
+        """Tile coordinates visited from ``src_tile`` to ``dst_tile``, inclusive."""
+        sx, sy = self.params.tile_xy(src_tile)
+        dx, dy = self.params.tile_xy(dst_tile)
+        hops = [(sx, sy)]
+        x, y = sx, sy
+        step = 1 if dx >= x else -1
+        while x != dx:
+            x += step
+            hops.append((x, y))
+        step = 1 if dy >= y else -1
+        while y != dy:
+            y += step
+            hops.append((x, y))
+        return hops
+
+    def hops(self, src_tile: int, dst_tile: int) -> int:
+        sx, sy = self.params.tile_xy(src_tile)
+        dx, dy = self.params.tile_xy(dst_tile)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def account(self, src_tile: int, dst_tile: int, nbytes: int) -> None:
+        """Charge ``nbytes`` to every directed link along the XY path."""
+        path = self.path(src_tile, dst_tile)
+        for a, b in zip(path, path[1:]):
+            self.link_bytes[(a, b)] += nbytes
+
+    def hottest_links(self, n: int = 5) -> list[tuple[tuple, int]]:
+        return self.link_bytes.most_common(n)
+
+    def reset(self) -> None:
+        self.link_bytes.clear()

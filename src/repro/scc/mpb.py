@@ -1,0 +1,132 @@
+"""The software-controlled on-chip memory of one SCC device.
+
+Terminology follows the paper (§3.1): each tile has a *local memory
+buffer* (LMB); per core we model an 8 kB half, split into the
+*message-passing buffer* (MPB, the payload area) and the *synchronization
+flag* (SF) region at the top.
+
+The memory holds **real bytes** (a numpy array): every protocol in the
+reproduction moves actual payload through it, so consistency bugs corrupt
+data and fail tests rather than merely skewing timings.
+
+Byte-level *watchpoints* notify waiting processes on writes — this is how
+flag polling is simulated efficiently (the poller parks on the watch
+signal instead of spinning through the event queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.sim.engine import Signal, Simulator
+
+from .params import CACHE_LINE, SCCParams
+
+__all__ = ["MpbAddr", "MPBMemory"]
+
+Bytes = Union[bytes, bytearray, np.ndarray]
+
+
+@dataclass(frozen=True, order=True)
+class MpbAddr:
+    """A location in some device's on-chip memory: (device, core, offset).
+
+    ``offset`` is relative to the owning core's 8 kB LMB half. The vSCC
+    topology coordinate of the paper, (x, y, z), maps to
+    (core's tile x, tile y, device).
+    """
+
+    device: int
+    core: int
+    offset: int
+
+    def __add__(self, delta: int) -> "MpbAddr":
+        return MpbAddr(self.device, self.core, self.offset + delta)
+
+
+class MPBMemory:
+    """All LMB halves of one device as one flat, watchable byte store."""
+
+    def __init__(self, sim: Simulator, params: SCCParams, device_id: int):
+        self.sim = sim
+        self.params = params
+        self.device_id = device_id
+        self._store = np.zeros(params.num_cores * params.lmb_bytes_per_core, np.uint8)
+        # Watch signals keyed by flat byte address (flags are single bytes).
+        self._watches: dict[int, Signal] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    # -- addressing -----------------------------------------------------------
+
+    def flat(self, addr: MpbAddr) -> int:
+        p = self.params
+        if addr.device != self.device_id:
+            raise ValueError(
+                f"address {addr} targets device {addr.device}, "
+                f"this memory belongs to device {self.device_id}"
+            )
+        p._check_core(addr.core)
+        if not 0 <= addr.offset < p.lmb_bytes_per_core:
+            raise ValueError(f"offset {addr.offset} outside the 8 kB LMB half")
+        return addr.core * p.lmb_bytes_per_core + addr.offset
+
+    def check_span(self, addr: MpbAddr, length: int) -> int:
+        """Validate that [addr, addr+length) stays inside one core's LMB."""
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        if addr.offset + length > self.params.lmb_bytes_per_core:
+            raise ValueError(
+                f"span of {length} B at offset {addr.offset} crosses the "
+                "LMB boundary of core "
+                f"{addr.core}"
+            )
+        return self.flat(addr)
+
+    # -- data access (timeless; timing is charged by the caller) ----------------
+
+    def read(self, addr: MpbAddr, length: int) -> np.ndarray:
+        base = self.check_span(addr, length)
+        self.read_count += 1
+        return self._store[base : base + length].copy()
+
+    def write(self, addr: MpbAddr, data: Bytes) -> None:
+        buf = np.frombuffer(bytes(data), np.uint8) if not isinstance(data, np.ndarray) else data
+        base = self.check_span(addr, len(buf))
+        self._store[base : base + len(buf)] = buf.astype(np.uint8, copy=False)
+        self.write_count += 1
+        if self._watches:
+            end = base + len(buf)
+            for flat_addr, signal in list(self._watches.items()):
+                if base <= flat_addr < end and signal.has_waiters:
+                    signal.pulse()
+
+    def read_byte(self, addr: MpbAddr) -> int:
+        return int(self._store[self.flat(addr)])
+
+    def write_byte(self, addr: MpbAddr, value: int) -> None:
+        self.write(addr, bytes([value & 0xFF]))
+
+    # -- watchpoints -------------------------------------------------------------
+
+    def watch(self, addr: MpbAddr) -> Signal:
+        """Signal pulsed whenever a write touches this byte."""
+        flat_addr = self.flat(addr)
+        signal = self._watches.get(flat_addr)
+        if signal is None:
+            signal = self.sim.signal(name=f"mpb{self.device_id}.watch@{flat_addr}")
+            self._watches[flat_addr] = signal
+        return signal
+
+    # -- region helpers ------------------------------------------------------------
+
+    def sf_base(self) -> int:
+        """Offset of the SF region inside each core's LMB half."""
+        return self.params.mpb_payload_bytes
+
+    def line_count(self, length: int) -> int:
+        """Number of 32 B cache lines a transfer of ``length`` bytes touches."""
+        return max(1, -(-length // CACHE_LINE)) if length else 0

@@ -1,0 +1,55 @@
+"""System interface (SIF) of one SCC device.
+
+The SIF sits at tile (3, 0) — the single point where the on-die mesh
+connects to the board FPGA and from there to the PCIe expansion cable
+(paper §3: "only a single physical link at (x, y) coordinate (3, 0)
+exists"). All inter-device traffic of a device funnels through it, so
+every off-die access pays the mesh distance from the issuing core's tile
+to the SIF tile on top of the PCIe path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.host.pcie import PCIeCable
+
+    from .chip import SCCDevice
+
+__all__ = ["SystemInterface", "SIF_TILE_XY"]
+
+#: Mesh coordinate of the SIF tile on the real SCC.
+SIF_TILE_XY = (3, 0)
+
+
+class SystemInterface:
+    """Mesh ↔ PCIe bridge of one device."""
+
+    def __init__(self, device: "SCCDevice"):
+        self.device = device
+        params = device.params
+        x = min(SIF_TILE_XY[0], params.tiles_x - 1)
+        y = min(SIF_TILE_XY[1], params.tiles_y - 1)
+        self.tile = params.tile_at(x, y)
+        #: Set when the host attaches this device to a PCIe cable.
+        self.cable: Optional["PCIeCable"] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.cable is not None
+
+    def hops_from_core(self, core_id: int) -> int:
+        """Mesh hops from a core's tile to the SIF tile."""
+        return self.device.router.hops(
+            self.device.params.tile_of_core(core_id), self.tile
+        )
+
+    def mesh_to_sif_ns(self, core_id: int, nbytes: int) -> float:
+        """Analytic mesh traversal cost core-tile → SIF for ``nbytes``."""
+        params = self.device.params
+        hops = self.hops_from_core(core_id)
+        flits = max(1, -(-nbytes // 32))
+        return params.mesh_clock.cycles(
+            params.mesh_hop_mesh_cycles * hops + params.mesh_flit_mesh_cycles * flits
+        )

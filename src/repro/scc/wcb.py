@@ -1,0 +1,88 @@
+"""Write-combining buffer model.
+
+Each SCC core has one WCB entry that merges consecutive stores to the
+same 32 B line into a single mesh (or SIF) transaction. Two behaviours of
+the paper depend on it:
+
+* streaming writes to MPB/remote memory move at line granularity, and
+* the vDMA controller's three memory-mapped registers are allocated
+  contiguously within one 32 B-aligned block precisely so the WCB fuses
+  the three programming stores into **one** transaction (paper §3.3,
+  Fig 5) — the ``bench_abl_mmio_fusion`` ablation measures this.
+
+The model tracks the currently open line and reports, per store, whether
+a previously open line was flushed (i.e. a transaction left the core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .params import CACHE_LINE
+
+__all__ = ["WcbFlush", "WriteCombineBuffer"]
+
+
+@dataclass(frozen=True)
+class WcbFlush:
+    """A combined transaction leaving the WCB: line tag + bytes valid."""
+
+    tag: tuple
+    nbytes: int
+
+
+class WriteCombineBuffer:
+    """Single-entry write-combining buffer of one core."""
+
+    def __init__(self) -> None:
+        self._tag: Optional[tuple] = None
+        self._bytes = 0
+        self.flushes = 0
+        self.stores = 0
+
+    @property
+    def open_tag(self) -> Optional[tuple]:
+        return self._tag
+
+    def store(self, space: tuple, flat_addr: int, nbytes: int) -> list[WcbFlush]:
+        """Record a store; return transactions flushed as a consequence.
+
+        ``space`` distinguishes address spaces (e.g. ``("mpb", device)``
+        vs ``("mmio", device)``) so a tag never aliases across them.
+        A store spanning several lines closes each full line as it goes.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"store size must be positive, got {nbytes}")
+        flushed: list[WcbFlush] = []
+        self.stores += 1
+        offset = 0
+        while offset < nbytes:
+            addr = flat_addr + offset
+            line = addr // CACHE_LINE
+            tag = space + (line,)
+            take = min(nbytes - offset, CACHE_LINE - addr % CACHE_LINE)
+            if self._tag is not None and self._tag != tag:
+                flushed.append(self._close())
+            if self._tag is None:
+                self._tag = tag
+                self._bytes = 0
+            self._bytes += take
+            if self._bytes >= CACHE_LINE or (addr + take) % CACHE_LINE == 0:
+                flushed.append(self._close())
+            offset += take
+        return flushed
+
+    def flush(self) -> Optional[WcbFlush]:
+        """Force out the open line (e.g. at a memory fence / flag write)."""
+        if self._tag is None:
+            return None
+        return self._close()
+
+    def _close(self) -> WcbFlush:
+        assert self._tag is not None
+        out = WcbFlush(self._tag, self._bytes)
+        self._tag = None
+        self._bytes = 0
+        self.flushes += 1
+        return out

@@ -1,0 +1,361 @@
+"""Generator-based discrete-event simulation kernel.
+
+The whole vSCC reproduction runs on this kernel: every SCC core, every
+host communication-task thread and every DMA engine is a *process* — a
+Python generator that yields timing commands:
+
+* ``Delay(ns)``        — resume the process ``ns`` simulated nanoseconds later.
+* an :class:`Event`    — resume when the event is triggered; ``yield`` returns
+  the event's value.
+* a :class:`Process`   — resume when that process terminates; ``yield``
+  returns its return value (``StopIteration.value``). If the awaited
+  process failed, the exception is re-raised in the waiter.
+
+Time is a float in **nanoseconds**; frequency-domain helpers live in
+:mod:`repro.sim.clock`. The kernel is deliberately small: a binary heap of
+``(time, seq, process, payload)`` entries and no global locking — the
+simulation is single-threaded and deterministic (ties are broken by
+spawn/schedule order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import DeadlockError, InvalidYield, ProcessFailed, SimulationError
+
+__all__ = [
+    "Delay",
+    "Event",
+    "Process",
+    "Simulator",
+]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield command: advance this process by ``ns`` nanoseconds."""
+
+    ns: float
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise ValueError(f"negative delay: {self.ns}")
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    ``trigger(value)`` wakes every waiter with ``value``. Waiting on an
+    already-triggered event resumes immediately with the stored value —
+    events are *sticky*, which makes completion signalling race-free.
+    """
+
+    __slots__ = ("sim", "name", "_triggered", "_value", "_waiters", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule(0.0, proc, value)
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` when triggered (immediately if already)."""
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def _add_waiter(self, proc: "Process") -> bool:
+        """Register ``proc``; return True if it must wait."""
+        if self._triggered:
+            return False
+        self._waiters.append(proc)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "set" if self._triggered else "pending"
+        return f"<Event {self.name} {state}>"
+
+
+class Signal:
+    """A broadcast, *non-sticky* wake-up channel.
+
+    Used for memory watchpoints (flag polling): a waiter parks until the
+    next ``pulse()``; pulses with no waiters are lost. Unlike
+    :class:`Event`, a Signal can fire any number of times.
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "_once")
+
+    def __init__(self, sim: "Simulator", name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Process] = []
+        self._once: list[Callable[[], None]] = []
+
+    def pulse(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule(0.0, proc, value)
+        callbacks, self._once = self._once, []
+        for cb in callbacks:
+            cb()
+
+    def once(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the next pulse only (multi-signal waits)."""
+        self._once.append(callback)
+
+    @property
+    def has_waiters(self) -> bool:
+        return bool(self._waiters) or bool(self._once)
+
+    def _add_waiter(self, proc: "Process") -> bool:
+        self._waiters.append(proc)
+        return True
+
+    def discard_waiter(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Process:
+    """A running simulated activity wrapping a generator.
+
+    Completion is observable through :attr:`done` (an :class:`Event`
+    triggered with the generator's return value) or by ``yield``-ing the
+    process object from another process.
+    """
+
+    __slots__ = ("sim", "name", "gen", "done", "_failure", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str):
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.done = Event(sim, name=f"{name}.done")
+        self._failure: Optional[BaseException] = None
+        self._waiting_on: Any = None
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._failure
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if it failed or is live."""
+        if self._failure is not None:
+            raise ProcessFailed(self.name, self._failure)
+        return self.done.value
+
+    def _step(self, payload: Any) -> None:
+        """Advance the generator by one yield."""
+        sim = self.sim
+        self._waiting_on = None
+        try:
+            if isinstance(payload, _Throw):
+                command = self.gen.throw(payload.exc)
+            else:
+                command = self.gen.send(payload)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            sim._live_processes.discard(self)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must capture sim faults
+            self._failure = exc
+            sim._live_processes.discard(self)
+            sim._failures.append(self)
+            # Wake waiters with the failure so it propagates.
+            self.done.trigger(_Throw(ProcessFailed(self.name, exc)))
+            if sim.fail_fast:
+                raise ProcessFailed(self.name, exc) from exc
+            return
+
+        if isinstance(command, Delay):
+            sim._schedule(command.ns, self, None)
+        elif isinstance(command, (Event, Signal)):
+            self._waiting_on = command
+            if not command._add_waiter(self):
+                sim._schedule(0.0, self, command._value)
+        elif isinstance(command, Process):
+            self._waiting_on = command
+            if not command.done._add_waiter(self):
+                sim._schedule(0.0, self, command.done._value)
+        else:
+            raise InvalidYield(
+                f"process {self.name!r} yielded unsupported object {command!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else f"waiting on {self._waiting_on!r}"
+        return f"<Process {self.name} {state}>"
+
+
+class _Throw:
+    """Internal payload: deliver an exception into a resumed generator."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    fail_fast:
+        When True (default) an exception inside any process aborts
+        :meth:`run` immediately with :class:`ProcessFailed`. When False,
+        failures are collected in :attr:`failures` and only waiters on the
+        failed process see the exception.
+    """
+
+    def __init__(self, fail_fast: bool = True):
+        self.now: float = 0.0
+        self.fail_fast = fail_fast
+        self._queue: list[tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+        self._failures: list[Process] = []
+        self._spawned = 0
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Register a generator as a process, starting at the current time."""
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        self._spawned += 1
+        proc = Process(self, gen, name or f"proc-{self._spawned}")
+        self._live_processes.add(proc)
+        self._schedule(0.0, proc, None)
+        return proc
+
+    def event(self, name: str = "event") -> Event:
+        return Event(self, name)
+
+    def signal(self, name: str = "signal") -> Signal:
+        return Signal(self, name)
+
+    @property
+    def failures(self) -> list[Process]:
+        return list(self._failures)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, delay: float, proc: Process, payload: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, proc, payload))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run a plain callback at absolute simulated time ``when``."""
+
+        def _runner() -> Generator:
+            yield Delay(max(0.0, when - self.now))
+            fn()
+
+        self.spawn(_runner(), name="call_at")
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        detect_deadlock: bool = True,
+    ) -> float:
+        """Process events until the queue drains, ``until`` or ``max_events``.
+
+        Returns the simulated time at which the run stopped. Raises
+        :class:`DeadlockError` if the queue drains while live processes
+        remain blocked (unless ``detect_deadlock`` is False — useful for
+        systems with daemon processes parked on external queues).
+        """
+        events = 0
+        while self._queue:
+            when, _seq, proc, payload = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if proc.finished:
+                continue  # stale wake-up for an already-finished process
+            self.now = when
+            proc._step(payload)
+            events += 1
+            if max_events is not None and events >= max_events:
+                return self.now
+        blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
+        if detect_deadlock and blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; return its value.
+
+        ``limit`` bounds simulated time as a safety net against livelock.
+        """
+        stop = [False]
+        event.on_trigger(lambda _v: stop.__setitem__(0, True))
+        while not stop[0]:
+            if not self._queue:
+                blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
+                raise DeadlockError(blocked)
+            when = self._queue[0][0]
+            if limit is not None and when > limit:
+                raise SimulationError(
+                    f"run_until: time limit {limit} ns exceeded at t={self.now}"
+                )
+            _w, _s, proc, payload = heapq.heappop(self._queue)
+            if proc.finished:
+                continue
+            self.now = when
+            proc._step(payload)
+        return event.value
+
+
+def _is_daemon(proc: Process) -> bool:
+    """Daemon processes (host comm-task threads) never count for deadlock."""
+    return getattr(proc.gen, "_sim_daemon", False) or proc.name.startswith("daemon:")
+
+
+def wait_all(procs: Iterable[Process]) -> Generator:
+    """Helper coroutine: wait for every process; return list of results."""
+    results = []
+    for proc in procs:
+        results.append((yield proc))
+    return results

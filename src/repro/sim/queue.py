@@ -1,0 +1,61 @@
+"""Unbounded FIFO queue between simulated processes.
+
+The host communication task consumes request queues fed by the device
+side; :class:`SimQueue` provides the classic put (non-blocking) / get
+(blocking coroutine) pair, preserving FIFO order among waiters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from .engine import Event, Simulator
+
+__all__ = ["SimQueue"]
+
+
+class SimQueue:
+    """FIFO queue; ``put`` is immediate, ``get`` parks until an item exists."""
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> None:
+        self.put_count += 1
+        if self._getters:
+            gate = self._getters.popleft()
+            gate.trigger(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator:
+        """Coroutine: return the next item, waiting if necessary."""
+        if self._items:
+            return self._items.popleft()
+        gate = self.sim.event(name=f"{self.name}.get")
+        self._getters.append(gate)
+        item = yield gate
+        return item
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise IndexError(f"queue {self.name!r} is empty")
+        return self._items.popleft()
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything currently queued (no waiting)."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,165 @@
+"""Shared-resource models: FIFO links and mutexes.
+
+:class:`Link` is the workhorse of the whole timing model. Every physical
+transport in vSCC — a mesh path between two tiles, the SIF-to-PCIe pipe,
+the host memory bus — is a Link with three parameters:
+
+* ``latency_ns``   — time-of-flight of the *first* byte,
+* ``bandwidth_bpns``— serialization rate in bytes per nanosecond,
+* ``overhead_ns``  — fixed per-transfer cost (packet header, DMA setup).
+
+A Link serializes transfers FIFO: a transfer occupies the link for
+``overhead + nbytes/bandwidth`` starting when the link becomes free, and
+*arrives* one latency later. This queuing model makes pipelining effects
+(the heart of the paper's optimizations) emerge naturally: back-to-back
+posted transfers overlap their latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from .engine import Delay, Event, Simulator
+
+__all__ = ["Link", "Mutex"]
+
+
+class Link:
+    """A FIFO latency/bandwidth pipe (one direction).
+
+    Two usage styles:
+
+    * ``yield from link.transfer(n)`` — the calling process blocks until
+      the data has fully *arrived* at the far end (a synchronous hop).
+    * ``done = link.post(n)``         — fire-and-forget; returns an
+      :class:`Event` triggered at arrival time. Used to pipeline.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency_ns: float,
+        bandwidth_bpns: float,
+        overhead_ns: float = 0.0,
+    ):
+        if latency_ns < 0 or overhead_ns < 0:
+            raise ValueError("latency/overhead must be non-negative")
+        if bandwidth_bpns <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.name = name
+        self.latency_ns = latency_ns
+        self.bandwidth_bpns = bandwidth_bpns
+        self.overhead_ns = overhead_ns
+        self._free_at = 0.0
+        self.bytes_carried = 0
+        self.transfers = 0
+
+    # -- timing core ---------------------------------------------------------
+
+    def _occupy(self, nbytes: int, extra_overhead_ns: float = 0.0) -> float:
+        """Reserve the link for one transfer; return its arrival time."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        start = max(self.sim.now, self._free_at)
+        serialization = self.overhead_ns + extra_overhead_ns + nbytes / self.bandwidth_bpns
+        self._free_at = start + serialization
+        self.bytes_carried += nbytes
+        self.transfers += 1
+        return self._free_at + self.latency_ns
+
+    def arrival_after(self, nbytes: int) -> float:
+        """Predict arrival time without occupying the link (for planning)."""
+        start = max(self.sim.now, self._free_at)
+        return start + self.overhead_ns + nbytes / self.bandwidth_bpns + self.latency_ns
+
+    # -- blocking transfer ---------------------------------------------------
+
+    def transfer(self, nbytes: int, extra_overhead_ns: float = 0.0) -> Generator:
+        """Coroutine: move ``nbytes`` and resume once they have arrived."""
+        arrival = self._occupy(nbytes, extra_overhead_ns)
+        yield Delay(arrival - self.sim.now)
+
+    # -- posted (pipelined) transfer ------------------------------------------
+
+    def post(
+        self,
+        nbytes: int,
+        on_arrival: Optional[Callable[[], None]] = None,
+        payload: Any = None,
+        extra_overhead_ns: float = 0.0,
+    ) -> Event:
+        """Enqueue a transfer; return an Event triggered on arrival.
+
+        ``on_arrival`` (if given) runs at arrival time before the event
+        triggers — typically the far end's "data visible now" commit.
+        """
+        arrival = self._occupy(nbytes, extra_overhead_ns)
+        done = self.sim.event(name=f"{self.name}.arrive")
+
+        def _deliver() -> None:
+            if on_arrival is not None:
+                on_arrival()
+            done.trigger(payload)
+
+        self.sim.call_at(arrival, _deliver)
+        return done
+
+    def reset_stats(self) -> None:
+        self.bytes_carried = 0
+        self.transfers = 0
+
+
+class Mutex:
+    """A fair (FIFO) simulated mutex.
+
+    Used for resources that admit one user at a time with no intrinsic
+    duration — e.g. a device's single SIF register interface.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: list[Event] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Generator:
+        if not self._locked:
+            self._locked = True
+            return
+            yield  # pragma: no cover - makes this a generator
+        gate = self.sim.event(name=f"{self.name}.grant")
+        self._waiters.append(gate)
+        yield gate
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError(f"mutex {self.name!r} released while unlocked")
+        if self._waiters:
+            gate = self._waiters.pop(0)
+            gate.trigger()  # ownership passes directly to the next waiter
+        else:
+            self._locked = False
+
+    def holding(self) -> "_MutexContext":
+        return _MutexContext(self)
+
+
+class _MutexContext:
+    """``yield from mutex.holding().run(body)`` convenience wrapper."""
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+
+    def run(self, body: Generator) -> Generator:
+        yield from self.mutex.acquire()
+        try:
+            result = yield from body
+        finally:
+            self.mutex.release()
+        return result

@@ -1,0 +1,49 @@
+"""Lightweight categorized event tracing.
+
+Benchmarks use traces to reconstruct protocol timelines (Fig 2) and the
+traffic matrix (Fig 8). Tracing is off by default and costs one dict
+lookup per call when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: simulated time, category and free-form payload."""
+
+    t: float
+    category: str
+    payload: tuple[Any, ...]
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` for enabled categories."""
+
+    enabled: set[str] = field(default_factory=set)
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def enable(self, *categories: str) -> None:
+        self.enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        self.enabled.difference_update(categories)
+
+    def emit(self, t: float, category: str, *payload: Any) -> None:
+        if category in self.enabled:
+            self.records.append(TraceRecord(t, category, payload))
+
+    def select(self, category: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.category == category)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

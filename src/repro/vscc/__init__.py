@@ -1,0 +1,27 @@
+"""vSCC: a virtual 240-core cluster-on-a-chip from five SCC devices.
+
+Public surface::
+
+    from repro.vscc import VSCCSystem, CommScheme, VsccTopology
+"""
+
+from .protocol import (
+    DirectSmallTransport,
+    RemotePutTransport,
+    VdmaTransport,
+    VsccSelector,
+)
+from .schemes import CommScheme, DIRECT_THRESHOLD
+from .system import VSCCSystem
+from .topology import VsccTopology
+
+__all__ = [
+    "CommScheme",
+    "DIRECT_THRESHOLD",
+    "DirectSmallTransport",
+    "RemotePutTransport",
+    "VSCCSystem",
+    "VdmaTransport",
+    "VsccSelector",
+    "VsccTopology",
+]

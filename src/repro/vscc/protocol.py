@@ -1,0 +1,403 @@
+"""Inter-device transports: the protocols behind each scheme of Fig 4.
+
+All three host-accelerated schemes share a *rendezvous* step (the
+receiver grants its communication buffer before any data lands in it —
+sync point **b1** of Fig 4d) because, unlike RCCE's default scheme, they
+write into the *receiver's* MPB, which is also the staging area of that
+rank's own on-chip sends. The data-ready notification is sync point
+**b2**. Counter-flag discipline follows :mod:`repro.rcce.flags`:
+independent "sent"/"ready" streams per directed pair, with bounded-lead
+``reached`` predicates wherever a producer may run ahead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.host.mmio import REG_VDMA_ADDR, REG_VDMA_COUNT, REG_VDMA_CTRL
+from repro.host.vdma import VdmaCommand
+from repro.ircce.pipeline import PipelinedTransport
+from repro.rcce.flags import SLOT_VDMA_DONE, reached
+from repro.rcce.transport import DefaultGetTransport, Transport, TransportSelector
+from repro.scc.params import CACHE_LINE
+
+from .schemes import CommScheme, DIRECT_THRESHOLD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.host.driver import Host
+    from repro.rcce.api import Rcce, RcceOptions
+
+__all__ = [
+    "RemotePutTransport",
+    "VdmaTransport",
+    "DirectSmallTransport",
+    "VsccSelector",
+]
+
+
+def _granule_sizes(total: int, granule: int) -> list[int]:
+    sizes = []
+    left = total
+    while left > 0:
+        sizes.append(min(left, granule))
+        left -= sizes[-1]
+    return sizes
+
+
+class RemotePutTransport(Transport):
+    """*Remote put* (Fig 4c), host write-combining or hardware-accelerated.
+
+    Per chunk: the receiver grants its buffer (b1); the sender streams
+    the chunk into the receiver's MPB — absorbed by the host WC buffer
+    (``via_host_wcb=True``, the stable scheme) or FPGA-fast-acked and
+    routed straight through (the unstable upper bound); the sender's
+    ``sent`` flag is fenced behind the data (b2); the receiver drains its
+    *local* MPB and acknowledges.
+    """
+
+    def __init__(self, via_host_wcb: bool):
+        self.via_host_wcb = via_host_wcb
+        self.name = "remote-put-wcb" if via_host_wcb else "remote-put-hw-accel"
+
+    def send(self, comm: "Rcce", dest: int, data: np.ndarray) -> Generator:
+        if self.via_host_wcb:
+            yield from self._send_stop_and_wait(comm, dest, data)
+        else:
+            yield from self._send_slotted(comm, dest, data)
+
+    def recv(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
+        if self.via_host_wcb:
+            out = yield from self._recv_stop_and_wait(comm, src, nbytes)
+        else:
+            out = yield from self._recv_slotted(comm, src, nbytes)
+        return out
+
+    # -- stable variant: host write-combining, full-buffer chunks -----------------
+
+    def _send_stop_and_wait(self, comm: "Rcce", dest: int, data) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        ready = fl.ready(me, dest)
+        for start, chunk in comm.iter_chunks(data):
+            grant = comm.next_seq(me, dest, "ready")
+            seq = comm.next_seq(me, dest, "sent")
+            ack = comm.next_seq(me, dest, "ready")
+            yield from env.wait_flag(ready, grant)  # b1: buffer granted
+            if len(chunk):
+                dst_addr = comm.comm_buffer_addr(dest)
+                yield from env.private_read(len(chunk))
+                yield from comm.announce_wcb_open(dst_addr, len(chunk))
+                yield from env.mpb_write(dst_addr, chunk)
+            yield from env.set_flag(fl.sent(dest, me), seq)  # b2: data ready
+            yield from env.wait_flag(ready, ack)
+
+    def _recv_stop_and_wait(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        sent = fl.sent(me, src)
+        out = np.empty(nbytes, np.uint8)
+        for start, size in comm.iter_chunk_sizes(nbytes):
+            grant = comm.next_seq(src, me, "ready")
+            seq = comm.next_seq(src, me, "sent")
+            ack = comm.next_seq(src, me, "ready")
+            yield from env.set_flag(fl.ready(src, me), grant)
+            yield from env.wait_flag(sent, seq)
+            if size:
+                yield from env.cl1invmb()
+                chunk = yield from env.mpb_read(
+                    comm.comm_buffer_addr(me), size, assume_cold=True
+                )
+                yield from env.private_write(size)
+                out[start : start + size] = chunk
+            yield from env.set_flag(fl.ready(src, me), ack)
+        return out
+
+    # -- upper-bound variant: FPGA fast acks, two-slot streaming --------------------
+    #
+    # Models the previous prototype's remote-put protocol [13] at its
+    # best: with local write acknowledges the sender streams
+    # continuously, double-buffering the receiver's MPB halves. This is
+    # the dashed upper-bound curve of Fig 6b; stability limits keep it
+    # out of real configurations beyond two devices.
+
+    def _slot_plan(self, comm: "Rcce", a: int, b: int, nbytes: int):
+        slot = comm.comm_buffer_bytes // 2
+        slot -= slot % CACHE_LINE
+        transfers = _granule_sizes(nbytes, slot) if nbytes else [0]
+        grants = [comm.next_seq(a, b, "ready") for _ in transfers]
+        final_ack = comm.next_seq(a, b, "ready")
+        seqs = [comm.next_seq(a, b, "sent") for _ in transfers]
+        return slot, transfers, grants, final_ack, seqs
+
+    def _send_slotted(self, comm: "Rcce", dest: int, data) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        slot, transfers, grants, final_ack, seqs = self._slot_plan(
+            comm, me, dest, len(data)
+        )
+        ready = fl.ready(me, dest)
+        offset = 0
+        for k, size in enumerate(transfers):
+            yield from env.wait_flag_pred(ready, reached(grants[k]))
+            if size:
+                chunk = data[offset : offset + size]
+                yield from env.private_read(size)
+                yield from env.mpb_write(
+                    comm.comm_buffer_addr(dest, (k % 2) * slot), chunk
+                )
+            yield from env.set_flag(fl.sent(dest, me), seqs[k])
+            offset += size
+        yield from env.wait_flag(ready, final_ack)
+
+    def _recv_slotted(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        slot, transfers, grants, final_ack, seqs = self._slot_plan(
+            comm, src, me, nbytes
+        )
+        sent = fl.sent(me, src)
+        out = np.empty(nbytes, np.uint8)
+        yield from env.set_flag(fl.ready(src, me), grants[0])
+        if len(transfers) > 1:
+            yield from env.set_flag(fl.ready(src, me), grants[1])
+        offset = 0
+        for k, size in enumerate(transfers):
+            yield from env.wait_flag_pred(sent, reached(seqs[k]))
+            if size:
+                yield from env.cl1invmb()
+                chunk = yield from env.mpb_read(
+                    comm.comm_buffer_addr(me, (k % 2) * slot), size, assume_cold=True
+                )
+                yield from env.private_write(size)
+                out[offset : offset + size] = chunk
+            if k + 2 < len(transfers):
+                yield from env.set_flag(fl.ready(src, me), grants[k + 2])
+            offset += size
+        yield from env.set_flag(fl.ready(src, me), final_ack)
+        return out
+
+
+class VdmaTransport(Transport):
+    """*Local put / local get* via the vDMA controller (Fig 4a).
+
+    Both end points touch only their own on-chip memory; the host's vDMA
+    engine moves the payload. The communication buffer is split into two
+    slots on both sides, double-buffering transfers so the 8 kB MPB
+    cliff disappears ("sender and receiver can progress communication in
+    parallel … the communication task can introduce a pipelining
+    effect", §4.1). Within a transfer the receiver drains granules as
+    the vDMA's piggybacked progress counter announces them.
+    """
+
+    name = "local-put-local-get-vdma"
+
+    def __init__(self, host: "Host", fused_mmio: bool = True):
+        self.host = host
+        #: Whether the three programming registers are written as one
+        #: WCB-fused transaction (§3.3) — the mmio-fusion ablation
+        #: disables this to measure the saving.
+        self.fused_mmio = fused_mmio
+
+    def _slot_bytes(self, comm: "Rcce") -> int:
+        slot = comm.comm_buffer_bytes // 2
+        return slot - slot % CACHE_LINE
+
+    def _plan(self, comm: "Rcce", a: int, b: int, nbytes: int):
+        """Transfer/granule/seq plan — computed identically on both ends."""
+        slot = self._slot_bytes(comm)
+        transfers = _granule_sizes(nbytes, slot) if nbytes else [0]
+        granule = self.host.params.granule
+        grants = [comm.next_seq(a, b, "ready") for _ in transfers]
+        final_ack = comm.next_seq(a, b, "ready")
+        progress = [
+            [comm.next_seq(a, b, "sent") for _ in _granule_sizes(size, granule)]
+            if size
+            else [comm.next_seq(a, b, "sent")]
+            for size in transfers
+        ]
+        return slot, granule, transfers, grants, final_ack, progress
+
+    def send(self, comm: "Rcce", dest: int, data: np.ndarray) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        slot, granule, transfers, grants, final_ack, progress = self._plan(
+            comm, me, dest, len(data)
+        )
+        done_flag = fl.misc(me, SLOT_VDMA_DONE)
+        ready = fl.ready(me, dest)
+        done_seqs = [comm.next_seq(me, me, "vdma_done") for _ in transfers]
+        offset = 0
+        for k, size in enumerate(transfers):
+            if k >= 2:
+                # Our slot k%2 is reusable once transfer k-2 was pulled
+                # and committed (the completion flag covers both).
+                yield from env.wait_flag_pred(done_flag, reached(done_seqs[k - 2]))
+            yield from env.wait_flag_pred(ready, reached(grants[k]))  # b1
+            slot_off = (k % 2) * slot
+            if size:
+                chunk = data[offset : offset + size]
+                yield from env.private_read(size)
+                yield from env.mpb_write(env.local_addr(slot_off), chunk)
+            cmd = VdmaCommand(
+                dst=comm.comm_buffer_addr(dest, slot_off),
+                completion_flag=done_flag,
+                completion_value=done_seqs[k],
+                progress_flag=fl.sent(dest, me),
+                progress_values=tuple(progress[k]),
+                granule=granule,
+            )
+            yield from env.device.fabric.mmio_write_block(
+                env,
+                [
+                    (REG_VDMA_ADDR, slot_off),
+                    (REG_VDMA_COUNT, max(size, 1) if size else 0),
+                    (REG_VDMA_CTRL, cmd),
+                ]
+                if size
+                else [(REG_VDMA_ADDR, slot_off), (REG_VDMA_COUNT, 0)],
+                fused=self.fused_mmio,
+            )
+            if not size:
+                # Zero-byte message: signal data-ready directly.
+                yield from env.set_flag(fl.sent(dest, me), progress[k][0])
+            offset += size
+        if transfers[-1]:
+            yield from env.wait_flag_pred(done_flag, reached(done_seqs[-1]))
+        yield from env.wait_flag(ready, final_ack)
+
+    def recv(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        slot, granule, transfers, grants, final_ack, progress = self._plan(
+            comm, src, me, nbytes
+        )
+        sent = fl.sent(me, src)
+        out = np.empty(nbytes, np.uint8)
+        # Grant the first two slots up front (double buffering).
+        yield from env.set_flag(fl.ready(src, me), grants[0])
+        if len(transfers) > 1:
+            yield from env.set_flag(fl.ready(src, me), grants[1])
+        offset = 0
+        for k, size in enumerate(transfers):
+            slot_off = (k % 2) * slot
+            drained = 0
+            for g, gsize in enumerate(_granule_sizes(size, granule) or [0]):
+                yield from env.wait_flag_pred(sent, reached(progress[k][g]))
+                if gsize:
+                    yield from env.cl1invmb()
+                    chunk = yield from env.mpb_read(
+                        env.local_addr(slot_off + drained), gsize, assume_cold=True
+                    )
+                    yield from env.private_write(gsize)
+                    out[offset + drained : offset + drained + gsize] = chunk
+                    drained += gsize
+            if k + 2 < len(transfers):
+                yield from env.set_flag(fl.ready(src, me), grants[k + 2])
+            offset += size
+        yield from env.set_flag(fl.ready(src, me), final_ack)
+        return out
+
+
+class DirectSmallTransport(Transport):
+    """Sub-threshold direct transfer (§3.3).
+
+    The sender pushes the payload itself through the immediate-ack path,
+    skipping vDMA programming / WC-stream setup — "to recover low
+    latency for small messages". Still rendezvous-gated: the payload
+    lands in the receiver's communication buffer.
+    """
+
+    name = "direct-small"
+
+    def send(self, comm: "Rcce", dest: int, data: np.ndarray) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        ready = fl.ready(me, dest)
+        grant = comm.next_seq(me, dest, "ready")
+        seq = comm.next_seq(me, dest, "sent")
+        ack = comm.next_seq(me, dest, "ready")
+        yield from env.wait_flag(ready, grant)
+        if len(data):
+            yield from env.private_read(len(data))
+            yield from env.device.fabric.direct_write(
+                env, comm.comm_buffer_addr(dest), data
+            )
+        yield from env.set_flag(fl.sent(dest, me), seq)
+        yield from env.wait_flag(ready, ack)
+
+    def recv(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
+        env, fl, me = comm.env, comm.flags, comm.rank
+        grant = comm.next_seq(src, me, "ready")
+        seq = comm.next_seq(src, me, "sent")
+        ack = comm.next_seq(src, me, "ready")
+        yield from env.set_flag(fl.ready(src, me), grant)
+        yield from env.wait_flag(fl.sent(me, src), seq)
+        out = np.empty(nbytes, np.uint8)
+        if nbytes:
+            yield from env.cl1invmb()
+            chunk = yield from env.mpb_read(
+                comm.comm_buffer_addr(me), nbytes, assume_cold=True
+            )
+            yield from env.private_write(nbytes)
+            out[:] = chunk
+        yield from env.set_flag(fl.ready(src, me), ack)
+        return out
+
+
+class VsccSelector(TransportSelector):
+    """Scheme-aware selector for multi-device sessions.
+
+    On-chip pairs use RCCE's default protocol (or iRCCE's pipelined one
+    above the 4 kB threshold when configured); cross-device pairs use
+    the configured scheme, falling back to the direct path below the
+    scheme's small-message threshold.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        scheme: CommScheme,
+        options: "RcceOptions",
+        direct_threshold: Optional[int] = None,
+        announce_prefetch: bool = True,
+        vdma_fused_mmio: bool = True,
+    ):
+        self.host = host
+        self.scheme = scheme
+        self.options = options
+        self.announce_prefetch = announce_prefetch
+        self.vdma_fused_mmio = vdma_fused_mmio
+        self.direct_threshold = (
+            DIRECT_THRESHOLD[scheme] if direct_threshold is None else direct_threshold
+        )
+        if self.direct_threshold and not host.extensions_enabled:
+            self.direct_threshold = 0
+        self._onchip_default = DefaultGetTransport()
+        self._onchip_pipelined = PipelinedTransport(packet_bytes=options.pipeline_packet)
+        self._direct = DirectSmallTransport()
+        self._cross = self._build_cross(scheme)
+
+    def _build_cross(self, scheme: CommScheme) -> Transport:
+        if scheme is CommScheme.TRANSPARENT:
+            return DefaultGetTransport(announce_prefetch=False)
+        if scheme is CommScheme.LOCAL_PUT_REMOTE_GET:
+            # Ablating the prefetch announcement still requires explicit
+            # consistency control: the sender invalidates the stale host
+            # copy instead (the receiver then demand-fills).
+            control = (
+                DefaultGetTransport.CACHE_ANNOUNCE
+                if self.announce_prefetch
+                else DefaultGetTransport.CACHE_INVALIDATE
+            )
+            return DefaultGetTransport(cache_control=control)
+        if scheme is CommScheme.REMOTE_PUT_WCB:
+            return RemotePutTransport(via_host_wcb=True)
+        if scheme is CommScheme.HW_ACCEL_REMOTE_PUT:
+            return RemotePutTransport(via_host_wcb=False)
+        if scheme is CommScheme.LOCAL_PUT_LOCAL_GET_VDMA:
+            return VdmaTransport(self.host, fused_mmio=self.vdma_fused_mmio)
+        raise ValueError(f"unknown scheme {scheme}")  # pragma: no cover
+
+    def select(self, comm: "Rcce", peer: int, nbytes: int) -> Transport:
+        if comm.layout.same_device(comm.rank, peer):
+            if self.options.pipelined and nbytes > self.options.pipeline_threshold:
+                return self._onchip_pipelined
+            return self._onchip_default
+        if self.host.extensions_enabled and nbytes <= self.direct_threshold:
+            return self._direct
+        return self._cross

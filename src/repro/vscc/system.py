@@ -1,0 +1,158 @@
+"""The vSCC system façade: build, boot and run a multi-device session.
+
+:class:`VSCCSystem` assembles the full research vehicle of the paper —
+up to five simulated SCC devices on one host, a communication scheme, a
+rank layout over the cores that booted — and runs RCCE programs on it::
+
+    from repro.vscc import VSCCSystem, CommScheme
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"hello", dest=239)
+        elif comm.rank == 239:
+            data = yield from comm.recv(5, src=0)
+
+    system = VSCCSystem(num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+    results = system.launch(program)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.host.driver import Host, HostParams
+from repro.host.pcie import PCIeParams
+from repro.rcce.api import Rcce, RcceOptions
+from repro.rcce.config import RankLayout, SccConfigFile
+from repro.rcce.flags import FlagLayout
+from repro.scc.chip import SCCDevice
+from repro.scc.params import SCCParams
+from repro.sim.engine import Process, Simulator
+from repro.sim.trace import Tracer
+
+from .protocol import VsccSelector
+from .schemes import CommScheme
+from .topology import VsccTopology
+
+__all__ = ["VSCCSystem"]
+
+
+class VSCCSystem:
+    """A grid of cluster-on-a-chip processors behind one host."""
+
+    def __init__(
+        self,
+        num_devices: int = 5,
+        scheme: CommScheme = CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        params: Optional[SCCParams] = None,
+        pcie_params: Optional[PCIeParams] = None,
+        host_params: Optional[HostParams] = None,
+        options: Optional[RcceOptions] = None,
+        failure_prob: float = 0.0,
+        seed: Optional[int] = None,
+        core_order: str = "ascending",
+        allow_unstable: bool = False,
+        direct_threshold: Optional[int] = None,
+        announce_prefetch: bool = True,
+        vdma_fused_mmio: bool = True,
+    ):
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        self.scheme = scheme
+        self.params = params or SCCParams()
+        self.options = options or RcceOptions()
+        self.sim = Simulator()
+        self.tracer = Tracer()
+        self.devices = [
+            SCCDevice(self.sim, self.params, device_id=i, tracer=self.tracer)
+            for i in range(num_devices)
+        ]
+        rng = np.random.default_rng(seed)
+        for device in self.devices:
+            device.boot(failure_prob=failure_prob, rng=rng)
+        self.host = Host(
+            self.sim,
+            self.devices,
+            pcie_params=pcie_params,
+            host_params=host_params,
+            extensions_enabled=scheme.needs_extensions,
+            fast_write_ack=scheme.uses_fast_write_ack,
+            allow_unstable=allow_unstable,
+        )
+        # §3.1: every rank registers its buffer/flag regions with the task.
+        for device in self.devices:
+            for core in device.available_cores:
+                self.host.register_rank_regions(device.device_id, core)
+        self.config = SccConfigFile.from_devices(self.devices)
+        self.layout = RankLayout.from_config(self.config, core_order)
+        self.flags = FlagLayout(self.layout, self.params)
+        self.topology = VsccTopology(self.layout, self.params)
+        self.selector = VsccSelector(
+            self.host,
+            scheme,
+            self.options,
+            direct_threshold=direct_threshold,
+            announce_prefetch=announce_prefetch,
+            vdma_fused_mmio=vdma_fused_mmio,
+        )
+        self._comms: dict[int, Rcce] = {}
+
+    # -- communicators ---------------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        return self.layout.num_ranks
+
+    def comm_for(self, rank: int) -> Rcce:
+        """The (cached) RCCE communicator of one rank."""
+        comm = self._comms.get(rank)
+        if comm is None:
+            device_id, core = self.layout.placement(rank)
+            env = self.devices[device_id].core(core)
+            comm = Rcce(
+                env,
+                self.layout,
+                options=self.options,
+                selector=self.selector,
+                flags=self.flags,
+            )
+            self._comms[rank] = comm
+        return comm
+
+    # -- program execution -----------------------------------------------------------
+
+    def spawn_ranks(
+        self,
+        program: Callable[[Rcce], Generator],
+        ranks: Optional[Sequence[int]] = None,
+    ) -> dict[int, Process]:
+        """Spawn ``program(comm)`` on the given ranks (default: all)."""
+        ranks = list(range(self.num_ranks)) if ranks is None else list(ranks)
+        procs = {}
+        for rank in ranks:
+            comm = self.comm_for(rank)
+            procs[rank] = self.sim.spawn(program(comm), name=f"rank{rank}")
+        return procs
+
+    def launch(
+        self,
+        program: Callable[[Rcce], Generator],
+        ranks: Optional[Sequence[int]] = None,
+        until: Optional[float] = None,
+    ) -> dict[int, object]:
+        """Spawn, run to completion, and return per-rank results."""
+        procs = self.spawn_ranks(program, ranks)
+        self.sim.run(until=until)
+        return {rank: proc.result for rank, proc in procs.items()}
+
+    # -- stats ----------------------------------------------------------------------------
+
+    def traffic_matrix(self) -> np.ndarray:
+        """bytes sent per (src, dst) rank pair so far."""
+        n = self.num_ranks
+        matrix = np.zeros((n, n), np.int64)
+        for (src, dst), nbytes in self.layout.traffic.items():
+            matrix[src, dst] = nbytes
+        return matrix

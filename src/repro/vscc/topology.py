@@ -1,0 +1,72 @@
+"""vSCC topology: the (x, y, z) coordinate space of Fig 3.
+
+Connecting devices through the host adds a third dimension to the SCC's
+2D mesh: "To describe the coordinates of a vSCC core the triple
+(x, y, z) is used … we use the device number as z coordinate" (§3). The
+z direction is special in two ways the paper stresses:
+
+* its latency is ~10⁴ core cycles against ~10² in x/y (factor ≈ 120),
+* every device has exactly one physical exit, the SIF at (3, 0), so all
+  z-traffic of a device funnels through that tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rcce.config import RankLayout
+from repro.scc.params import SCCParams
+from repro.scc.sif import SIF_TILE_XY
+
+__all__ = ["VsccTopology"]
+
+
+@dataclass(frozen=True)
+class VsccTopology:
+    """Coordinate queries over a rank layout spanning multiple devices."""
+
+    layout: RankLayout
+    params: SCCParams
+
+    def xyz(self, rank: int) -> tuple[int, int, int]:
+        device, core = self.layout.placement(rank)
+        x, y = self.params.core_xy(core)
+        return (x, y, device)
+
+    def num_devices(self) -> int:
+        return len({self.layout.placement(r)[0] for r in range(self.layout.num_ranks)})
+
+    def same_device(self, rank_a: int, rank_b: int) -> bool:
+        return self.layout.same_device(rank_a, rank_b)
+
+    def mesh_hops(self, rank_a: int, rank_b: int) -> int:
+        """On-die XY hops (only meaningful for same-device ranks)."""
+        if not self.same_device(rank_a, rank_b):
+            raise ValueError(
+                f"ranks {rank_a} and {rank_b} are on different devices; the "
+                "z direction has no mesh hop count"
+            )
+        _d1, core_a = self.layout.placement(rank_a)
+        _d2, core_b = self.layout.placement(rank_b)
+        return self.params.hops(core_a, core_b)
+
+    def path_hops(self, rank_a: int, rank_b: int) -> tuple[int, int]:
+        """(on-die hops, z hops): the z component counts device crossings.
+
+        For cross-device pairs the on-die component is the distance of
+        each end point to its SIF tile — the funnel every inter-device
+        packet traverses.
+        """
+        if self.same_device(rank_a, rank_b):
+            return (self.mesh_hops(rank_a, rank_b), 0)
+        sif_x = min(SIF_TILE_XY[0], self.params.tiles_x - 1)
+        sif_y = min(SIF_TILE_XY[1], self.params.tiles_y - 1)
+        hops = 0
+        for rank in (rank_a, rank_b):
+            _dev, core = self.layout.placement(rank)
+            x, y = self.params.core_xy(core)
+            hops += abs(x - sif_x) + abs(y - sif_y)
+        return (hops, 1)
+
+    def is_cross_device(self, rank_a: int, rank_b: int) -> bool:
+        return not self.same_device(rank_a, rank_b)

@@ -1,0 +1,73 @@
+"""Unit tests for the diagonal multi-partitioning geometry."""
+
+import pytest
+
+from repro.apps.npb.multipartition import MultiPartition, X, Y, Z, is_square
+
+
+def test_square_requirement():
+    """§4.2: only square process counts (225 is vSCC's maximum)."""
+    MultiPartition(225, 162)
+    with pytest.raises(ValueError, match="square"):
+        MultiPartition(48, 162)
+    assert is_square(144) and not is_square(150)
+
+
+@pytest.fixture
+def part():
+    return MultiPartition(16, 32)
+
+
+def test_every_rank_owns_one_cell_per_slab(part):
+    for rank in range(part.nranks):
+        cells = part.cells(rank)
+        for dim in (X, Y, Z):
+            assert sorted(c[dim] for c in cells) == list(range(part.p))
+
+
+def test_cells_partition_the_grid(part):
+    owned = set()
+    for rank in range(part.nranks):
+        for cell in part.cells(rank):
+            assert cell not in owned
+            owned.add(cell)
+    assert len(owned) == part.p ** 3
+
+
+def test_partners_are_mutual(part):
+    for rank in range(part.nranks):
+        for dim in (X, Y, Z):
+            succ = part.partner(rank, dim, True)
+            assert part.partner(succ, dim, False) == rank
+
+
+def test_partner_owns_adjacent_cell(part):
+    """The cell next to mine in a sweep belongs to my fixed partner."""
+    p = part.p
+    for rank in range(part.nranks):
+        succ = part.partner(rank, X, True)
+        for (x, y, z) in part.cells(rank):
+            neighbor = ((x + 1) % p, y, z)
+            assert neighbor in part.cells(succ)
+
+
+def test_cell_in_slab_consistency(part):
+    for rank in range(part.nranks):
+        cells = part.cells(rank)
+        for dim in (X, Y, Z):
+            for slab in range(part.p):
+                c = part.cell_in_slab(rank, dim, slab)
+                assert cells[c][dim] == slab
+
+
+def test_slab_sizes_sum_to_grid():
+    part = MultiPartition(9, 20)  # 20 = 3*6 + 2: uneven slabs
+    sizes = [part.slab_size(k) for k in range(part.p)]
+    assert sum(sizes) == 20
+    assert max(sizes) - min(sizes) <= 1
+    assert part.slab_start(2) == sizes[0] + sizes[1]
+
+
+def test_grid_too_small_rejected():
+    with pytest.raises(ValueError):
+        MultiPartition(16, 3)

@@ -1,0 +1,55 @@
+"""Unit tests for the ping-pong app."""
+
+import pytest
+
+from repro.apps.pingpong import PingPongPoint, run_pingpong
+from repro.rcce.session import RcceSession
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+def test_point_math():
+    point = PingPongPoint.from_elapsed(size=1000, iterations=5, elapsed_ns=10000.0)
+    assert point.oneway_ns == 1000.0
+    assert point.throughput_mbps == pytest.approx(1000.0)
+
+
+def test_onchip_sweep_monotone_latency(session):
+    points = run_pingpong(session, 0, 10, sizes=[64, 1024, 4096], iterations=3)
+    latencies = [p.oneway_ns for p in points]
+    assert latencies == sorted(latencies)
+
+
+def test_throughput_grows_with_size(session):
+    points = run_pingpong(session, 0, 10, sizes=[32, 1024, 65536], iterations=3)
+    tputs = [p.throughput_mbps for p in points]
+    assert tputs == sorted(tputs)
+    assert tputs[-1] > tputs[0] * 1.2
+
+
+def test_corruption_is_detected(vdma_system, monkeypatch):
+    """The verify path catches injected payload corruption."""
+    from repro.host import vdma as vdma_module
+
+    original = vdma_module.VDMAController._copy
+
+    def corrupting(self, src, count, cmd):
+        # flip a byte in the source device's MPB mid-flight
+        dev = self.host.device_of(src.device)
+        data = dev.mpb.read(src, 1)
+        dev.mpb.write(src, bytes([(int(data[0]) + 1) % 256]))
+        yield from original(self, src, count, cmd)
+
+    monkeypatch.setattr(vdma_module.VDMAController, "_copy", corrupting)
+    with pytest.raises(Exception, match="corrupt"):
+        run_pingpong(vdma_system, 0, 48, sizes=[4096], iterations=1)
+
+
+def test_same_rank_rejected(session):
+    with pytest.raises(ValueError):
+        run_pingpong(session, 3, 3, sizes=[64])
+
+
+def test_rank_order_does_not_matter(vdma_system):
+    points = run_pingpong(vdma_system, 48, 0, sizes=[1024], iterations=2)
+    assert points[0].throughput_mbps > 0

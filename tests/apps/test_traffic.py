@@ -1,0 +1,56 @@
+"""Unit tests for traffic accounting and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.apps.traffic import render_traffic, traffic_matrix, traffic_stats
+from repro.rcce.config import RankLayout, SccConfigFile
+
+
+@pytest.fixture
+def layout():
+    config = SccConfigFile((tuple(range(4)), tuple(range(4))))
+    return RankLayout.from_config(config)
+
+
+def test_matrix_from_recorded_traffic(layout):
+    layout.record_traffic(0, 5, 1000)
+    layout.record_traffic(5, 0, 500)
+    matrix = traffic_matrix(layout)
+    assert matrix[0, 5] == 1000 and matrix[5, 0] == 500
+    assert matrix.sum() == 1500
+
+
+def test_stats_identify_max_pair_and_cross_device(layout):
+    layout.record_traffic(0, 1, 100)       # same device
+    layout.record_traffic(2, 6, 900)       # cross device
+    matrix = traffic_matrix(layout)
+    stats = traffic_stats(matrix, layout)
+    assert stats.max_pair == (2, 6)
+    assert stats.inter_device_bytes == 900
+    assert stats.inter_device_fraction == pytest.approx(0.9)
+    assert stats.nonzero_pairs == 2
+
+
+def test_stats_empty_matrix(layout):
+    stats = traffic_stats(traffic_matrix(layout), layout)
+    assert stats.total_bytes == 0
+    assert stats.inter_device_fraction == 0.0
+
+
+def test_render_contains_device_rule(layout):
+    layout.record_traffic(0, 7, 64)
+    out = render_traffic(traffic_matrix(layout), layout, width=8)
+    assert "x=sender" in out
+    assert "|" in out and "+" in out
+
+
+def test_render_downsamples_large_matrices(layout):
+    matrix = np.ones((8, 8), np.int64)
+    out = render_traffic(matrix, layout, width=4)
+    assert len(out.splitlines()) < 12
+
+
+def test_shape_mismatch_rejected(layout):
+    with pytest.raises(ValueError):
+        traffic_stats(np.zeros((3, 3)), layout)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the vSCC reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rcce.session import RcceSession
+from repro.scc.chip import SCCDevice
+from repro.sim.engine import Simulator
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def device(sim) -> SCCDevice:
+    dev = SCCDevice(sim)
+    dev.boot()
+    return dev
+
+
+@pytest.fixture
+def session() -> RcceSession:
+    return RcceSession()
+
+
+@pytest.fixture
+def vdma_system() -> VSCCSystem:
+    return VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+
+
+def run_programs(sim: Simulator, *gens, names=None):
+    """Spawn generators, run to completion, return their results."""
+    procs = [
+        sim.spawn(gen, (names[i] if names else f"prog{i}"))
+        for i, gen in enumerate(gens)
+    ]
+    sim.run()
+    return [proc.result for proc in procs]

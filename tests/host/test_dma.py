@@ -1,0 +1,89 @@
+"""Unit tests for the host DMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.host.dma import DMAEngine
+from repro.host.pcie import PCIeCable, PCIeParams
+from repro.scc.chip import SCCDevice
+from repro.scc.mpb import MpbAddr
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    dev = SCCDevice(sim)
+    dev.boot()
+    cable = PCIeCable(sim, PCIeParams(), dev)
+    return sim, dev, DMAEngine(cable, granule=1920)
+
+
+def test_pull_delivers_granules_in_order(rig):
+    sim, dev, dma = rig
+    payload = (np.arange(5000) % 251).astype(np.uint8)
+    dev.mpb.write(MpbAddr(0, 3, 0), payload[:5000])
+    chunks = []
+
+    def prog():
+        yield from dma.pull(MpbAddr(0, 3, 0), 5000, lambda off, d: chunks.append((off, d)))
+
+    sim.spawn(prog())
+    sim.run()
+    assert [off for off, _d in chunks] == [0, 1920, 3840]
+    assembled = np.concatenate([d for _off, d in chunks])
+    assert (assembled == payload).all()
+
+
+def test_push_commits_progressively(rig):
+    sim, dev, dma = rig
+    payload = (np.arange(4000) % 251).astype(np.uint8)
+    progress = []
+
+    def prog():
+        yield from dma.push(
+            MpbAddr(0, 7, 0), payload, on_granule=lambda i, end: progress.append(end)
+        )
+
+    sim.spawn(prog())
+    sim.run()
+    assert progress == [1920, 3840, 4000]
+    assert (dev.mpb.read(MpbAddr(0, 7, 0), 4000) == payload).all()
+
+
+def test_granule_override(rig):
+    sim, dev, dma = rig
+    sizes = []
+
+    def prog():
+        yield from dma.pull(MpbAddr(0, 0, 0), 1024, lambda off, d: sizes.append(len(d)), granule=256)
+
+    sim.spawn(prog())
+    sim.run()
+    assert sizes == [256] * 4
+
+
+def test_wrong_device_rejected(rig):
+    sim, dev, dma = rig
+    with pytest.raises(ValueError):
+        list(dma.pull(MpbAddr(1, 0, 0), 32, lambda o, d: None))
+
+
+def test_throughput_includes_descriptor_setup(rig):
+    sim, dev, dma = rig
+    params = dma.cable.params
+
+    def prog():
+        t0 = sim.now
+        yield from dma.pull(MpbAddr(0, 0, 0), 1920, lambda o, d: None)
+        return sim.now - t0
+
+    proc = sim.spawn(prog())
+    sim.run()
+    expected = (
+        params.packet_overhead_ns
+        + params.dma_setup_ns
+        + 1920 / params.bandwidth_bpns
+        + params.latency_ns
+    )
+    assert proc.result == pytest.approx(expected)

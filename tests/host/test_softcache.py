@@ -1,0 +1,108 @@
+"""Unit tests for the software MPB cache + push stream."""
+
+import numpy as np
+import pytest
+
+from repro.host.driver import Host
+from repro.scc.chip import SCCDevice
+from repro.scc.mpb import MpbAddr
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    devices = [SCCDevice(sim, device_id=i) for i in range(2)]
+    for dev in devices:
+        dev.boot()
+    host = Host(sim, devices)
+    for dev in devices:
+        for core in range(48):
+            host.register_rank_regions(dev.device_id, core)
+    return sim, devices, host
+
+
+def test_announce_prefetches_real_bytes(rig):
+    sim, devices, host = rig
+    payload = (np.arange(4096) % 251).astype(np.uint8)
+    devices[0].mpb.write(MpbAddr(0, 9, 0), payload)
+    entry = host.cache.announce(MpbAddr(0, 9, 0), 4096)
+    sim.run()
+    assert entry.valid_upto == 4096
+    assert (entry.buf == payload).all()
+
+
+def test_serve_returns_announced_data(rig):
+    sim, devices, host = rig
+    payload = (np.arange(2048) % 251).astype(np.uint8)
+    devices[0].mpb.write(MpbAddr(0, 9, 0), payload)
+    host.cache.announce(MpbAddr(0, 9, 0), 2048)
+
+    def receiver():
+        env = devices[1].core(0)
+        data = yield from host.cache.serve(env, MpbAddr(0, 9, 0), 2048)
+        return data
+
+    proc = sim.spawn(receiver())
+    sim.run()
+    assert (proc.result == payload).all()
+    assert host.cache.demand_fills == 0
+
+
+def test_serve_demand_fills_without_announce(rig):
+    sim, devices, host = rig
+    devices[0].mpb.write(MpbAddr(0, 9, 0), b"\x42" * 512)
+
+    def receiver():
+        env = devices[1].core(0)
+        data = yield from host.cache.serve(env, MpbAddr(0, 9, 0), 512)
+        return data
+
+    proc = sim.spawn(receiver())
+    sim.run()
+    assert bytes(proc.result) == b"\x42" * 512
+    assert host.cache.demand_fills == 1
+
+
+def test_invalidate_drops_entry(rig):
+    sim, devices, host = rig
+    host.cache.announce(MpbAddr(0, 9, 0), 1024)
+    sim.run()
+    assert host.cache.entry_for(MpbAddr(0, 9, 0), 1024) is not None
+    host.cache.invalidate(0, 9)
+    assert host.cache.entry_for(MpbAddr(0, 9, 0), 1024) is None
+
+
+def test_new_announce_replaces_stale_copy(rig):
+    sim, devices, host = rig
+    devices[0].mpb.write(MpbAddr(0, 9, 0), b"\x01" * 256)
+    host.cache.announce(MpbAddr(0, 9, 0), 256)
+    sim.run()
+    devices[0].mpb.write(MpbAddr(0, 9, 0), b"\x02" * 256)
+    host.cache.announce(MpbAddr(0, 9, 0), 256)
+
+    def receiver():
+        env = devices[1].core(0)
+        data = yield from host.cache.serve(env, MpbAddr(0, 9, 0), 256)
+        return data
+
+    proc = sim.spawn(receiver())
+    sim.run()
+    assert bytes(proc.result) == b"\x02" * 256
+
+
+def test_serve_waits_for_prefetch_progress(rig):
+    """Reading ahead of the prefetcher parks instead of returning junk."""
+    sim, devices, host = rig
+    payload = (np.arange(7680) % 251).astype(np.uint8)
+    devices[0].mpb.write(MpbAddr(0, 9, 0), payload)
+    host.cache.announce(MpbAddr(0, 9, 0), 7680)
+
+    def receiver():
+        env = devices[1].core(0)
+        data = yield from host.cache.serve(env, MpbAddr(0, 9, 0), 7680)
+        return data
+
+    proc = sim.spawn(receiver())  # starts before any granule arrived
+    sim.run()
+    assert (proc.result == payload).all()

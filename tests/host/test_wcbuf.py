@@ -1,0 +1,91 @@
+"""Unit tests for the host write-combining stream."""
+
+import numpy as np
+import pytest
+
+from repro.host.dma import DMAEngine
+from repro.host.pcie import PCIeCable, PCIeParams
+from repro.host.wcbuf import HostWriteCombiner
+from repro.scc.chip import SCCDevice
+from repro.scc.mpb import MpbAddr
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    dev = SCCDevice(sim)
+    dev.boot()
+    dma = DMAEngine(PCIeCable(sim, PCIeParams(), dev), granule=1920)
+    return sim, dev, HostWriteCombiner(sim, dma, granule=1024)
+
+
+def test_full_granules_self_flush(rig):
+    sim, dev, wcb = rig
+    wcb.open(MpbAddr(0, 2, 0), 4096)
+    wcb.issued = 4096
+    payload = (np.arange(4096) % 251).astype(np.uint8)
+    for off in range(0, 4096, 512):
+        wcb.absorb(off, payload[off : off + 512])
+    assert wcb.flushes == 4
+    sim.run()
+    assert (dev.mpb.read(MpbAddr(0, 2, 0), 4096) == payload).all()
+
+
+def test_fence_flushes_partial_tail(rig):
+    sim, dev, wcb = rig
+    wcb.open(MpbAddr(0, 2, 0), 1500)
+    wcb.issued = 1500
+    wcb.absorb(0, np.ones(1500, np.uint8))
+
+    def prog():
+        yield from wcb.fence()
+
+    sim.spawn(prog())
+    sim.run()
+    # one self-flushed full granule (1024) + the fenced tail (476)
+    assert wcb.flushes == 2
+    assert dev.mpb.read(MpbAddr(0, 2, 0), 1500).sum() == 1500
+
+
+def test_fence_waits_for_in_flight_tail(rig):
+    sim, dev, wcb = rig
+    wcb.open(MpbAddr(0, 2, 0), 100)
+    wcb.issued = 100  # issued but not yet absorbed
+    done = {}
+
+    def fencer():
+        yield from wcb.fence()
+        done["t"] = sim.now
+
+    sim.spawn(fencer())
+    sim.call_at(500.0, lambda: wcb.absorb(0, np.ones(100, np.uint8)))
+    sim.run()
+    assert done["t"] >= 500.0
+
+
+def test_non_contiguous_absorb_rejected(rig):
+    _sim, _dev, wcb = rig
+    wcb.open(MpbAddr(0, 2, 0), 1024)
+    with pytest.raises(ValueError, match="non-contiguous"):
+        wcb.absorb(512, np.zeros(10, np.uint8))
+
+
+def test_absorb_before_open_rejected(rig):
+    _sim, _dev, wcb = rig
+    with pytest.raises(RuntimeError):
+        wcb.absorb(0, np.zeros(8, np.uint8))
+
+
+def test_open_twice_rejected(rig):
+    _sim, _dev, wcb = rig
+    wcb.open(MpbAddr(0, 2, 0), 64)
+    with pytest.raises(RuntimeError):
+        wcb.open(MpbAddr(0, 2, 0), 64)
+
+
+def test_overflow_rejected(rig):
+    _sim, _dev, wcb = rig
+    wcb.open(MpbAddr(0, 2, 0), 64)
+    with pytest.raises(ValueError, match="extent"):
+        wcb.absorb(0, np.zeros(65, np.uint8))

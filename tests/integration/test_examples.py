@@ -1,0 +1,31 @@
+"""The shipped examples run end to end (as a user would invoke them)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, argv=()):
+    saved = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(f"examples/{name}", run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+def test_quickstart():
+    run_example("quickstart.py")
+
+
+def test_gory_vdma():
+    run_example("gory_vdma.py")
+
+
+def test_bt_npb_verification_part():
+    run_example("bt_npb.py")
+
+
+def test_pingpong_sweep_quick():
+    run_example("pingpong_sweep.py", ["--quick"])

@@ -1,0 +1,133 @@
+"""Unit tests for the Rcce communicator (on-chip)."""
+
+import numpy as np
+import pytest
+
+from repro.rcce.api import Rcce, RcceOptions
+from repro.rcce.session import RcceSession
+
+
+def test_send_recv_roundtrip(session):
+    payload = (np.arange(1000) % 251).astype(np.uint8)
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(payload, 5)
+        elif comm.rank == 5:
+            got["data"] = yield from comm.recv(1000, 0)
+
+    session.launch(program, ranks=[0, 5])
+    assert (got["data"] == payload).all()
+
+
+def test_multi_chunk_message(session):
+    """Messages beyond the MPB payload split into chunks."""
+    size = 20000  # > 2 chunks of 7680
+    payload = (np.arange(size) % 251).astype(np.uint8)
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(payload, 1)
+        elif comm.rank == 1:
+            got["data"] = yield from comm.recv(size, 0)
+
+    session.launch(program, ranks=[0, 1])
+    assert (got["data"] == payload).all()
+
+
+def test_zero_byte_message(session):
+    done = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"", 1)
+        elif comm.rank == 1:
+            data = yield from comm.recv(0, 1 - 1)
+            done["len"] = len(data)
+
+    session.launch(program, ranks=[0, 1])
+    assert done["len"] == 0
+
+
+def test_send_accepts_float_arrays(session):
+    values = np.linspace(0, 1, 100)
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(values, 1)
+        elif comm.rank == 1:
+            raw = yield from comm.recv(values.nbytes, 0)
+            got["values"] = raw.view(np.float64)
+
+    session.launch(program, ranks=[0, 1])
+    assert np.array_equal(got["values"], values)
+
+
+def test_self_send_rejected(session):
+    def program(comm):
+        yield from comm.send(b"x", comm.rank)
+
+    with pytest.raises(Exception):
+        session.launch(program, ranks=[0])
+
+
+def test_messages_between_pairs_are_ordered(session):
+    got = []
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(bytes([i]), 1)
+        elif comm.rank == 1:
+            for i in range(5):
+                data = yield from comm.recv(1, 0)
+                got.append(data[0])
+
+    session.launch(program, ranks=[0, 1])
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_bidirectional_concurrent_pairs(session):
+    """Two rank pairs communicating simultaneously don't interfere."""
+    got = {}
+
+    def program(comm):
+        peers = {0: 1, 1: 0, 2: 3, 3: 2}
+        peer = peers[comm.rank]
+        payload = bytes([comm.rank]) * 100
+        if comm.rank % 2 == 0:
+            yield from comm.send(payload, peer)
+            got[comm.rank] = yield from comm.recv(100, peer)
+        else:
+            data = yield from comm.recv(100, peer)
+            yield from comm.send(bytes([comm.rank]) * 100, peer)
+            got[comm.rank] = data
+
+    session.launch(program, ranks=[0, 1, 2, 3])
+    assert bytes(got[0]) == bytes([1]) * 100
+    assert bytes(got[3]) == bytes([2]) * 100
+
+
+def test_user_mpb_area_reduces_comm_buffer():
+    session = RcceSession(options=RcceOptions(user_mpb_bytes=1024))
+    comm = session.comm_for(0)
+    assert comm.comm_buffer_bytes == 7680 - 1024
+    offset = comm.malloc(100)
+    assert 0 <= offset < 1024
+
+
+def test_malloc_requires_user_area(session):
+    comm = session.comm_for(0)
+    with pytest.raises(RuntimeError):
+        comm.malloc(32)
+
+
+def test_seq_channels_are_independent(session):
+    comm = session.comm_for(0)
+    assert comm.next_seq(0, 1, "sent") == 1
+    assert comm.next_seq(0, 1, "sent") == 2
+    assert comm.next_seq(0, 1, "ready") == 1
+    assert comm.next_seq(1, 0, "sent") == 1

@@ -1,0 +1,94 @@
+"""Unit tests for communicator splitting (RCCE_comm_split style)."""
+
+import numpy as np
+import pytest
+
+from repro.rcce.comm import Communicator, comm_incl, comm_split, comm_world
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+def test_split_by_device():
+    """One communicator per device: color = z coordinate."""
+    system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+    got = {}
+
+    def program(comm):
+        device = system.topology.xyz(comm.rank)[2]
+        group = yield from comm_split(comm, color=device, key=comm.rank)
+        got[comm.rank] = (group.rank, group.size, tuple(group.members[:2]))
+        # a barrier inside the group must not involve the other device
+        yield from group.barrier()
+
+    system.launch(program)
+    assert got[0] == (0, 48, (0, 1))
+    assert got[48] == (0, 48, (48, 49))
+    assert got[95][1] == 48
+
+
+def test_split_key_orders_members():
+    system = VSCCSystem(num_devices=2)
+    got = {}
+
+    def program(comm):
+        if comm.rank >= 4:
+            return
+        group = yield from comm_split(
+            comm, color=0, key=-comm.rank, group_size=4
+        )
+        got[comm.rank] = group.rank
+
+    system.launch(program, ranks=range(4))
+    # reversed key order: global rank 3 becomes group rank 0
+    assert got == {0: 3, 1: 2, 2: 1, 3: 0}
+
+
+def test_negative_color_returns_none():
+    system = VSCCSystem(num_devices=2)
+    got = {}
+
+    def program(comm):
+        if comm.rank >= 3:
+            return
+        color = -1 if comm.rank == 1 else 0
+        group = yield from comm_split(comm, color=color, key=0, group_size=3)
+        got[comm.rank] = None if group is None else group.size
+
+    system.launch(program, ranks=range(3))
+    assert got[1] is None
+    assert got[0] == got[2] == 2
+
+
+def test_group_collectives_and_p2p():
+    system = VSCCSystem(num_devices=2)
+    got = {}
+
+    def program(comm):
+        if comm.rank not in (2, 50, 7):
+            return
+        group = comm_incl(comm, [2, 50, 7])
+        result = yield from group.allreduce(np.array([float(group.rank)]))
+        got.setdefault("sum", result[0])
+        if group.rank == 0:
+            yield from group.send(b"hi", 2)      # group rank 2 = global 7
+        elif group.rank == 2:
+            data = yield from group.recv(2, 0)
+            got["p2p"] = bytes(data)
+
+    system.launch(program, ranks=[2, 50, 7])
+    assert got["sum"] == pytest.approx(3.0)
+    assert got["p2p"] == b"hi"
+
+
+def test_world_communicator(session):
+    comm = session.comm_for(5)
+    world = comm_world(comm)
+    assert world.size == 48 and world.rank == 5
+
+
+def test_nonmember_rejected(session):
+    comm = session.comm_for(5)
+    with pytest.raises(ValueError):
+        Communicator(comm, [0, 1, 2])
+    with pytest.raises(ValueError):
+        Communicator(comm, [5, 5])

@@ -1,0 +1,72 @@
+"""Unit tests for the SF flag layout and counter predicates."""
+
+import pytest
+
+from repro.rcce.config import RankLayout, SccConfigFile
+from repro.rcce.flags import FlagLayout, MAX_RANKS, SEQ_MOD, reached
+from repro.scc.params import SCCParams
+
+
+@pytest.fixture
+def flags():
+    config = SccConfigFile((tuple(range(48)), tuple(range(48))))
+    return FlagLayout(RankLayout.from_config(config), SCCParams())
+
+
+def test_flag_addresses_in_sf_region(flags):
+    params = SCCParams()
+    for addr in (flags.sent(0, 95), flags.ready(95, 0), flags.misc(3, 15)):
+        assert params.mpb_payload_bytes <= addr.offset < params.lmb_bytes_per_core
+
+
+def test_sent_and_ready_never_collide(flags):
+    seen = set()
+    for owner in (0, 50):
+        for peer in (0, 1, 95):
+            for addr in (flags.sent(owner, peer), flags.ready(owner, peer)):
+                key = (addr.device, addr.core, addr.offset)
+                assert key not in seen
+                seen.add(key)
+    for slot in range(16):
+        addr = flags.misc(0, slot)
+        key = (addr.device, addr.core, addr.offset)
+        assert key not in seen
+        seen.add(key)
+
+
+def test_flag_owned_by_owner_rank(flags):
+    addr = flags.sent(50, 3)
+    assert (addr.device, addr.core) == (1, 2)  # rank 50 = device 1 core 2
+
+
+def test_capacity_limit():
+    config = SccConfigFile((tuple(range(48)),) * 6)
+    with pytest.raises(ValueError, match="capacity"):
+        FlagLayout(RankLayout.from_config(config), SCCParams())
+    assert MAX_RANKS == 248
+
+
+def test_next_seq_cycles_skipping_zero():
+    seq = 0
+    seen = []
+    for _ in range(SEQ_MOD + 3):
+        seq = FlagLayout.next_seq(seq)
+        seen.append(seq)
+    assert 0 not in seen
+    assert seen[0] == 1 and seen[SEQ_MOD] == 1  # wrapped
+
+
+def test_reached_predicate_with_wrap():
+    pred = reached(target=253, max_lead=4)
+    assert pred(253)
+    assert pred(254)
+    assert pred(1)      # wrapped lead
+    assert not pred(252)  # behind
+    assert not pred(0)    # never signalled
+    with pytest.raises(ValueError):
+        reached(0)
+
+
+def test_misc_slot_bounds(flags):
+    with pytest.raises(ValueError):
+        flags.misc(0, 16)

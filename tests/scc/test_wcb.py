@@ -1,0 +1,56 @@
+"""Unit tests for the write-combining buffer."""
+
+import pytest
+
+from repro.scc.wcb import WriteCombineBuffer
+
+
+def test_fuses_stores_within_one_line():
+    wcb = WriteCombineBuffer()
+    # Three 8 B stores in one 32 B block (the vDMA register layout).
+    flushed = []
+    flushed += wcb.store(("mmio", 0), 0, 8)
+    flushed += wcb.store(("mmio", 0), 8, 8)
+    flushed += wcb.store(("mmio", 0), 16, 8)
+    assert flushed == []  # still combining
+    final = wcb.flush()
+    assert final is not None and final.nbytes == 24
+    assert wcb.flushes == 1
+
+
+def test_new_line_flushes_previous():
+    wcb = WriteCombineBuffer()
+    wcb.store(("mpb", 0), 0, 8)
+    flushed = wcb.store(("mpb", 0), 40, 8)  # different line
+    assert len(flushed) == 1 and flushed[0].nbytes == 8
+
+
+def test_full_line_self_flushes():
+    wcb = WriteCombineBuffer()
+    flushed = wcb.store(("mpb", 0), 0, 32)
+    assert len(flushed) == 1
+    assert flushed[0].nbytes == 32
+    assert wcb.open_tag is None
+
+
+def test_multi_line_store_flushes_each_line():
+    wcb = WriteCombineBuffer()
+    flushed = wcb.store(("mpb", 0), 0, 96)
+    assert len(flushed) == 3
+    assert sum(f.nbytes for f in flushed) == 96
+
+
+def test_spaces_do_not_alias():
+    wcb = WriteCombineBuffer()
+    wcb.store(("mpb", 0), 0, 8)
+    flushed = wcb.store(("mmio", 0), 0, 8)  # same line number, other space
+    assert len(flushed) == 1
+
+
+def test_flush_empty_returns_none():
+    assert WriteCombineBuffer().flush() is None
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        WriteCombineBuffer().store(("mpb", 0), 0, 0)

@@ -1,0 +1,206 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Delay, Event, Process, Signal, Simulator
+from repro.sim.errors import DeadlockError, InvalidYield, ProcessFailed
+
+
+def test_delay_advances_time():
+    sim = Simulator()
+
+    def prog():
+        yield Delay(10.0)
+        yield Delay(2.5)
+        return sim.now
+
+    proc = sim.spawn(prog())
+    sim.run()
+    assert proc.result == pytest.approx(12.5)
+    assert sim.now == pytest.approx(12.5)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1.0)
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def prog(name, step):
+        for i in range(3):
+            yield Delay(step)
+            order.append((name, sim.now))
+
+    sim.spawn(prog("a", 2.0))
+    sim.spawn(prog("b", 3.0))
+    sim.run()
+    # tie at t=6.0 resolves by scheduling order: b's wake-up at 6.0 was
+    # enqueued (at t=3.0) before a's (at t=4.0).
+    assert order == [
+        ("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0), ("a", 6.0), ("b", 9.0),
+    ]
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+
+    def waiter(evt):
+        value = yield evt
+        return value
+
+    def trigger(evt):
+        yield Delay(5.0)
+        evt.trigger("payload")
+
+    evt = sim.event()
+    w = sim.spawn(waiter(evt))
+    sim.spawn(trigger(evt))
+    sim.run()
+    assert w.result == "payload"
+    assert sim.now == 5.0
+
+
+def test_event_is_sticky():
+    sim = Simulator()
+    evt = sim.event()
+    evt.trigger(42)
+
+    def late():
+        value = yield evt
+        return value
+
+    proc = sim.spawn(late())
+    sim.run()
+    assert proc.result == 42
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    evt = sim.event()
+    evt.trigger()
+    with pytest.raises(Exception):
+        evt.trigger()
+
+
+def test_wait_on_process_returns_its_value():
+    sim = Simulator()
+
+    def child():
+        yield Delay(3.0)
+        return "done"
+
+    def parent(child_proc):
+        value = yield child_proc
+        return value + "!"
+
+    c = sim.spawn(child())
+    p = sim.spawn(parent(c))
+    sim.run()
+    assert p.result == "done!"
+
+
+def test_process_failure_propagates_to_waiter():
+    sim = Simulator(fail_fast=False)
+
+    def child():
+        yield Delay(1.0)
+        raise RuntimeError("boom")
+
+    def parent(child_proc):
+        yield child_proc
+
+    c = sim.spawn(child())
+    p = sim.spawn(parent(c))
+    sim.run()
+    assert c.failure is not None
+    assert p.failure is not None
+    assert isinstance(p.failure, ProcessFailed)
+
+
+def test_fail_fast_raises_from_run():
+    sim = Simulator(fail_fast=True)
+
+    def bad():
+        yield Delay(1.0)
+        raise ValueError("bad")
+
+    sim.spawn(bad())
+    with pytest.raises(ProcessFailed):
+        sim.run()
+
+
+def test_invalid_yield_detected():
+    sim = Simulator()
+
+    def bad():
+        yield "not a command"
+
+    sim.spawn(bad())
+    with pytest.raises(InvalidYield):
+        sim.run()
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+
+    def stuck(evt):
+        yield evt
+
+    sim.spawn(stuck(sim.event()))
+    with pytest.raises(DeadlockError):
+        sim.run()
+
+
+def test_daemon_processes_do_not_deadlock():
+    sim = Simulator()
+
+    def stuck(evt):
+        yield evt
+
+    sim.spawn(stuck(sim.event()), name="daemon:parked")
+    sim.run()  # no DeadlockError
+
+
+def test_run_until_limit():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield Delay(1.0)
+
+    sim.spawn(forever())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_signal_is_not_sticky():
+    sim = Simulator()
+    woken = []
+
+    def waiter(sig):
+        yield sig
+        woken.append(sim.now)
+
+    sig = sim.signal()
+    sig.pulse()  # no waiters: lost
+    sim.spawn(waiter(sig))
+    sim.call_at(4.0, sig.pulse)
+    sim.run()
+    assert woken == [4.0]
+
+
+def test_call_at_runs_callback():
+    sim = Simulator()
+    seen = []
+    sim.call_at(7.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.0]
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)
