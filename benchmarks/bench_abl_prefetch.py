@@ -29,6 +29,7 @@ def _run(announce: bool):
     return (
         {p.size: p.throughput_mbps for p in points},
         {"announces": cache.announces, "demand_fills": cache.demand_fills},
+        system,
     )
 
 
@@ -36,7 +37,7 @@ def test_prefetch_ablation(benchmark, once):
     def run():
         return _run(True), _run(False)
 
-    (with_pf, stats_pf), (without_pf, stats_np) = once(run)
+    (with_pf, stats_pf, system_pf), (without_pf, stats_np, _) = once(run)
     print()
     print(
         format_table(
@@ -50,6 +51,7 @@ def test_prefetch_ablation(benchmark, once):
     print(f"announced prefetches: {stats_pf}, without announcement: {stats_np}")
     record(
         benchmark,
+        system=system_pf,
         throughput_prefetch={s: round(v, 2) for s, v in with_pf.items()},
         throughput_demand={s: round(v, 2) for s, v in without_pf.items()},
         cache_stats_prefetch=stats_pf,

@@ -5,24 +5,31 @@ Sweeps the on-chip protocols (RCCE vs iRCCE) and every inter-device
 scheme, printing the curves of Fig 6a/6b plus the paper's headline
 ratios (24 % of on-chip recovered; worst scheme at ~72 % of the limit).
 
-Run:  python examples/pingpong_sweep.py [--quick]
+Run:  python examples/pingpong_sweep.py [--quick] [--metrics-json PATH]
+
+``--metrics-json`` re-runs the vDMA scheme once on a fresh system and
+dumps its full ``system.metrics`` snapshot as run-metrics JSON.
 """
 
 import argparse
 
+from repro.apps.pingpong import run_pingpong
 from repro.bench import (
     PAPER_BANDS,
     SCHEME_LABELS,
     fig6a_onchip,
     fig6b_interdevice,
     format_series,
+    write_run_metrics,
 )
 from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="fewer sizes/iterations")
+    parser.add_argument("--metrics-json", help="write a vDMA run's metrics here")
     args = parser.parse_args()
     sizes = (
         (512, 8192, 65536)
@@ -51,6 +58,25 @@ def main() -> None:
     print(PAPER_BANDS["onchip_peak_mbps"].report(onchip_peak))
     print(PAPER_BANDS["best_vs_onchip"].report(vdma / onchip_peak))
     print(PAPER_BANDS["cached_vs_limit"].report(cached / hw))
+
+    if args.metrics_json:
+        system = VSCCSystem(
+            num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+        )
+        run_pingpong(system, 0, 48, sizes=sizes, iterations=iters)
+        path = write_run_metrics(
+            args.metrics_json,
+            system.metrics,
+            name="pingpong_sweep.vdma",
+            run_info={"scheme": system.scheme.value, "sizes": list(sizes)},
+        )
+        print(f"\nvDMA run metrics written to {path}")
+        for key in (
+            "pcie.bytes{device=0,dir=up}",
+            "vdma.transfers{device=0}",
+            "scheme.selected{transport=local-put-local-get-vdma}",
+        ):
+            print(f"  {key} = {system.metrics[key]:.0f}")
 
 
 if __name__ == "__main__":

@@ -4,12 +4,17 @@
 Builds the smallest interesting system — two simulated SCC devices
 (96 cores) behind one host running the vDMA (local-put/local-get)
 scheme — and sends one message from the first core of device 0 to the
-first core of device 1, then reports what it cost.
+first core of device 1, then reports what it cost via the
+:class:`~repro.vscc.RunResult` the run returns.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--metrics-json PATH] [--trace-json PATH]
+
+``--metrics-json`` dumps the full metrics snapshot as run-metrics JSON
+(the layout of ``schemas/run_metrics.schema.json``); ``--trace-json``
+writes a Chrome-trace file loadable in https://ui.perfetto.dev.
 """
 
-import numpy as np
+import argparse
 
 from repro import CommScheme, VSCCSystem
 
@@ -17,30 +22,32 @@ MESSAGE = b"hello from device 0 -- routed through the host's vDMA engine!"
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics-json", help="write the metrics snapshot here")
+    parser.add_argument("--trace-json", help="write a Perfetto-loadable trace here")
+    args = parser.parse_args()
+
     system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
     print(f"booted {system.num_ranks} ranks on {len(system.devices)} devices")
     print(f"rank 0 lives at (x, y, z) = {system.topology.xyz(0)}")
     print(f"rank 48 lives at (x, y, z) = {system.topology.xyz(48)}")
-
-    received = {}
 
     def program(comm):
         if comm.rank == 0:
             yield from comm.send(MESSAGE, dest=48)
         elif comm.rank == 48:
             data = yield from comm.recv(len(MESSAGE), src=0)
-            received["data"] = bytes(data)
+            return bytes(data)
 
-    system.launch(program, ranks=[0, 48])
+    result = system.run(program, ranks=[0, 48], trace_json=args.trace_json)
 
-    elapsed_us = system.sim.now / 1000.0
-    cycles = system.params.core_clock.to_cycles(system.sim.now)
-    print(f"\nreceived: {received['data'].decode()!r}")
-    assert received["data"] == MESSAGE
+    print(f"\nreceived: {result[48].decode()!r}")
+    assert result[48] == MESSAGE
     print(f"one {len(MESSAGE)} B message across devices: "
-          f"{elapsed_us:.1f} us = {cycles:,.0f} core cycles")
-    up, down = system.host.pcie_bytes()[0]
-    print(f"device 0 cable traffic: {up} B up, {down} B down")
+          f"{result.elapsed_ns / 1000.0:.1f} us = {result.core_cycles:,.0f} core cycles")
+    up = result.metrics["pcie.bytes{device=0,dir=up}"]
+    down = result.metrics["pcie.bytes{device=0,dir=down}"]
+    print(f"device 0 cable traffic: {up:.0f} B up, {down:.0f} B down")
 
     # The same message on-chip, for contrast (rank 0 -> rank 1).
     system2 = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
@@ -51,10 +58,27 @@ def main() -> None:
         elif comm.rank == 1:
             yield from comm.recv(len(MESSAGE), src=0)
 
-    system2.launch(onchip, ranks=[0, 1])
-    print(f"same message on-chip:   {system2.sim.now / 1000.0:.2f} us "
+    onchip_result = system2.run(onchip, ranks=[0, 1])
+    print(f"same message on-chip:   {onchip_result.elapsed_ns / 1000.0:.2f} us "
           f"(the z direction is ~100x more expensive — exactly the gap "
           f"the paper's communication task attacks)")
+
+    if args.metrics_json:
+        from repro.bench import write_run_metrics
+
+        path = write_run_metrics(
+            args.metrics_json,
+            result.metrics,
+            name="quickstart",
+            run_info={
+                "scheme": system.scheme.value,
+                "message_bytes": len(MESSAGE),
+                "elapsed_ns": result.elapsed_ns,
+            },
+        )
+        print(f"metrics snapshot written to {path}")
+    if args.trace_json:
+        print(f"Chrome trace written to {result.trace_path}")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ The package layers exactly like the paper's system:
 * :mod:`repro.ircce` — iRCCE non-blocking / pipelined extensions,
 * :mod:`repro.vscc`  — the multi-device vSCC system and its schemes,
 * :mod:`repro.apps`  — ping-pong, NPB BT, traffic analysis,
+* :mod:`repro.obs`   — metrics registry and Chrome-trace export,
 * :mod:`repro.bench` — harness regenerating the paper's figures.
 
 Quickstart::
@@ -29,7 +30,7 @@ from .host import Host, HostParams, PCIeParams
 from .rcce import RankLayout, Rcce, RcceOptions, SccConfigFile
 from .scc import CACHE_LINE, MpbAddr, SCCDevice, SCCParams
 from .sim import Simulator
-from .vscc import CommScheme, VSCCSystem, VsccTopology
+from .vscc import CommScheme, RunResult, VSCCSystem, VsccTopology
 
 __version__ = "1.0.0"
 
@@ -43,6 +44,7 @@ __all__ = [
     "RankLayout",
     "Rcce",
     "RcceOptions",
+    "RunResult",
     "SCCDevice",
     "SCCParams",
     "SccConfigFile",

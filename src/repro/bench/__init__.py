@@ -11,12 +11,21 @@ from .figures import (
     fig8_bt_traffic,
     latency_anchors,
 )
-from .runner import Band, PAPER_BANDS, format_series, format_table, render_timeline
+from .runner import (
+    Band,
+    PAPER_BANDS,
+    RUN_METRICS_SCHEMA,
+    format_series,
+    format_table,
+    render_timeline,
+    write_run_metrics,
+)
 
 __all__ = [
     "Band",
     "ONCHIP_PAIR",
     "PAPER_BANDS",
+    "RUN_METRICS_SCHEMA",
     "SCHEME_LABELS",
     "fig2_protocol_timeline",
     "fig2_trace",
@@ -28,4 +37,5 @@ __all__ = [
     "render_timeline",
     "format_table",
     "latency_anchors",
+    "write_run_metrics",
 ]

@@ -9,10 +9,23 @@ measured values against them).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
-__all__ = ["Band", "PAPER_BANDS", "format_table", "format_series", "render_timeline"]
+__all__ = [
+    "Band",
+    "PAPER_BANDS",
+    "RUN_METRICS_SCHEMA",
+    "format_table",
+    "format_series",
+    "render_timeline",
+    "write_run_metrics",
+]
+
+#: Identifier checked by ``schemas/run_metrics.schema.json``.
+RUN_METRICS_SCHEMA = "repro.run_metrics/v1"
 
 
 @dataclass(frozen=True)
@@ -46,6 +59,32 @@ PAPER_BANDS: dict[str, Band] = {
     "latency_ratio": Band(120.0, 60.0, 220.0, "inter-device vs on-chip latency ratio (§5: 120x)"),
     "bt_max_pair_mb": Band(186.0, 120.0, 260.0, "BT class C / 64 ranks max pair traffic, MB (§4.2)"),
 }
+
+
+def write_run_metrics(
+    path: Union[str, Path],
+    metrics: Mapping[str, float],
+    *,
+    name: str,
+    run_info: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write one run's metrics snapshot as validated JSON.
+
+    The layout matches ``schemas/run_metrics.schema.json``: a schema
+    tag, the run ``name``, free-form ``run_info`` context (scheme,
+    message size, ...), and the flat ``metrics`` mapping in the
+    ``name{label=value,...}`` series-key format.
+    """
+    path = Path(path)
+    payload = {
+        "schema": RUN_METRICS_SCHEMA,
+        "name": name,
+        "run_info": {str(k): v for k, v in (run_info or {}).items()},
+        "metrics": {str(k): float(v) for k, v in metrics.items()},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:

@@ -72,7 +72,27 @@ class CommunicationTask:
         self.routed_reads = 0
         self.routed_writes = 0
         self.flag_forwards = 0
+        #: Totals of write-combining streams already replaced by a newer
+        #: announce (live streams are summed on top at snapshot time).
+        self._wcb_retired_bytes = 0
+        self._wcb_retired_flushes = 0
         self._wire_msg_handlers()
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Per-device request-handling series of this host thread."""
+        d = self.device_id
+        wcb_bytes = float(self._wcb_retired_bytes)
+        wcb_flushes = float(self._wcb_retired_flushes)
+        for combiner in self._combiners.values():
+            wcb_bytes += combiner.bytes_combined
+            wcb_flushes += combiner.flushes
+        return {
+            f"commtask.routed_reads{{device={d}}}": float(self.routed_reads),
+            f"commtask.routed_writes{{device={d}}}": float(self.routed_writes),
+            f"commtask.flag_forwards{{device={d}}}": float(self.flag_forwards),
+            f"wcbuf.bytes_combined{{device={d}}}": wcb_bytes,
+            f"wcbuf.flushes{{device={d}}}": wcb_flushes,
+        }
 
     # -- helpers ---------------------------------------------------------------
 
@@ -256,6 +276,10 @@ class CommunicationTask:
         combiner = HostWriteCombiner(
             self.sim, self.host.dma_of(target.device), self.host.params.granule
         )
+        old = self._combiners.get(env.core_id)
+        if old is not None:
+            self._wcb_retired_bytes += old.bytes_combined
+            self._wcb_retired_flushes += old.flushes
         self._combiners[env.core_id] = combiner
         self._wcb_expected[env.core_id] = True
         from .mmio import REG_MSG_ADDR, REG_MSG_COUNT

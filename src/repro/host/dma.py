@@ -36,6 +36,14 @@ class DMAEngine:
         self.bytes_pulled = 0
         self.bytes_pushed = 0
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Engine-level series, labeled with the cable's device id."""
+        dev = self.cable.device.device_id
+        return {
+            f"dma.bytes{{device={dev},dir=pull}}": float(self.bytes_pulled),
+            f"dma.bytes{{device={dev},dir=push}}": float(self.bytes_pushed),
+        }
+
     def _granules(self, nbytes: int, granule: Optional[int] = None) -> list[int]:
         step = granule or self.granule
         sizes = []

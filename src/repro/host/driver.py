@@ -16,9 +16,11 @@ known-unstable in that regime and uses it only as an upper bound.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.obs.metrics import merge_snapshots
 from repro.scc.chip import SCCDevice
 from repro.sim.engine import Simulator
 
@@ -149,8 +151,26 @@ class Host:
 
     # -- stats -----------------------------------------------------------------------------
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Host-side series: cables, DMA engines, tasks, cache, vDMA."""
+        parts = []
+        parts.extend(cable.metrics_snapshot() for cable in self.cables.values())
+        parts.extend(dma.metrics_snapshot() for dma in self.dmas.values())
+        parts.extend(task.metrics_snapshot() for task in self.tasks.values())
+        parts.extend(vdma.metrics_snapshot() for vdma in self.vdma.values())
+        parts.append(self.cache.metrics_snapshot())
+        return merge_snapshots(parts)
+
     def pcie_bytes(self) -> dict[int, tuple[int, int]]:
-        """(up, down) bytes per device cable."""
+        """Deprecated: read ``metrics_snapshot()`` series
+        ``pcie.bytes{device=<id>,dir=up|down}`` instead."""
+        warnings.warn(
+            "Host.pcie_bytes() is deprecated; use Host.metrics_snapshot() "
+            "(series pcie.bytes{device=<id>,dir=up|down}) or "
+            "VSCCSystem.metrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return {
             dev_id: (cable.bytes_up, cable.bytes_down)
             for dev_id, cable in self.cables.items()

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import label_keys, merge_snapshots
 from repro.sim.engine import Simulator
 from repro.sim.resources import Link
 
@@ -107,3 +108,24 @@ class PCIeCable:
     @property
     def bytes_down(self) -> int:
         return self.down.bytes_carried
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Per-direction cable series: ``pcie.*{device=<id>,dir=up|down}``."""
+
+        def rekey(snap: dict[str, float]) -> dict[str, float]:
+            return {k.replace("link.", "pcie.", 1): v for k, v in snap.items()}
+
+        return merge_snapshots(
+            (
+                label_keys(
+                    rekey(self.up.metrics_snapshot()),
+                    device=self.device.device_id,
+                    dir="up",
+                ),
+                label_keys(
+                    rekey(self.down.metrics_snapshot()),
+                    device=self.device.device_id,
+                    dir="down",
+                ),
+            )
+        )

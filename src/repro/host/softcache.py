@@ -81,6 +81,20 @@ class HostMpbCache:
         self.announces = 0
         self.demand_fills = 0
         self.invalidations = 0
+        #: Receiver reads served from a prefetched (announced) entry.
+        self.hits = 0
+        #: Receiver reads that found no usable entry (demand fill).
+        self.misses = 0
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Cache effectiveness series (shared across devices, unlabeled)."""
+        return {
+            "softcache.hits": float(self.hits),
+            "softcache.misses": float(self.misses),
+            "softcache.announces": float(self.announces),
+            "softcache.demand_fills": float(self.demand_fills),
+            "softcache.invalidations": float(self.invalidations),
+        }
 
     # -- producer side ------------------------------------------------------
 
@@ -168,7 +182,10 @@ class HostMpbCache:
             # Prefetch miss (no announcement): demand-fill, still faster
             # than transparent per-line routing but pays the cold start.
             self.demand_fills += 1
+            self.misses += 1
             entry = self._start_fill(addr, length)
+        else:
+            self.hits += 1
         host = self.host
         cable = host.cable_of(env.device.device_id)
         pcie = cable.params

@@ -64,6 +64,22 @@ class VDMAController:
         self.bytes_copied = 0
         bank = host.task_of(device_id).mmio
         bank.on_write(REG_VDMA_CTRL, self._on_ctrl)
+        from repro.obs.metrics import registry_for
+
+        self._obs = registry_for(self.sim)
+        self._depth_gauge = self._obs.gauge("vdma.queue_depth", device=device_id)
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Engine series of this device's vDMA controller."""
+        d = self.device_id
+        return {
+            f"vdma.transfers{{device={d}}}": float(self.copies_started),
+            f"vdma.copies_completed{{device={d}}}": float(self.copies_completed),
+            f"vdma.bytes{{device={d}}}": float(self.bytes_copied),
+            f"vdma.inflight{{device={d}}}": float(
+                self.copies_started - self.copies_completed
+            ),
+        }
 
     def _on_ctrl(self, core_id: int, ctrl_value: object) -> None:
         """Control-register write: trigger the transaction (Fig 5)."""
@@ -87,13 +103,26 @@ class VDMAController:
                 "vDMA moves data between devices; same-device copies use the mesh"
             )
         self.copies_started += 1
+        self._depth_gauge.add(1.0)
+        tracer = self.host.device_of(self.device_id).tracer
+        if tracer.wants("vdma"):
+            tracer.emit(
+                self.sim.now, "vdma", self.device_id, "programmed",
+                self.copies_started, count,
+            )
         self.sim.spawn(
-            self._copy(src, count, cmd), name=f"daemon:vdma.d{self.device_id}"
+            self._copy(src, count, cmd, self.copies_started),
+            name=f"daemon:vdma.d{self.device_id}",
         )
 
-    def _copy(self, src: MpbAddr, count: int, cmd: VdmaCommand) -> Generator:
+    def _copy(
+        self, src: MpbAddr, count: int, cmd: VdmaCommand, copy_id: int
+    ) -> Generator:
         host = self.host
         sim = self.sim
+        tracer = host.device_of(self.device_id).tracer
+        if tracer.wants("vdma"):
+            tracer.emit(sim.now, "vdma", self.device_id, "copy_start", copy_id, count)
         src_cable = host.cable_of(src.device)
         dst_cable = host.cable_of(cmd.dst.device)
         dst_dev = host.device_of(cmd.dst.device)
@@ -161,3 +190,6 @@ class VDMAController:
         )
         yield done
         self.copies_completed += 1
+        self._depth_gauge.add(-1.0)
+        if tracer.wants("vdma"):
+            tracer.emit(sim.now, "vdma", self.device_id, "copy_done", copy_id)

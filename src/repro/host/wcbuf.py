@@ -58,6 +58,13 @@ class HostWriteCombiner:
         self.bytes_combined = 0
         self.flushes = 0
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """One stream's series; the owning task sums streams per device."""
+        return {
+            "wcbuf.bytes_combined": float(self.bytes_combined),
+            "wcbuf.flushes": float(self.flushes),
+        }
+
     def open(self, target: MpbAddr, total_bytes: int) -> None:
         """Arm the stream (fires at MSG-register arrival on the host)."""
         if self._base is not None:

@@ -75,6 +75,7 @@ class PipelinedTransport(Transport):
         acks = [comm.next_seq(me, dest, "ready") for _ in range(npackets)]
         ready = fl.ready(me, dest)
         trace = env.device.tracer
+        tracing = trace.wants("protocol")
         for k in range(npackets):
             if k >= 2:
                 # Slot k%2 is free once packet k-2 was acknowledged.
@@ -83,10 +84,12 @@ class PipelinedTransport(Transport):
             chunk = data[start : min(start + packet, nbytes)]
             slot = comm.comm_buffer_addr(me, (k % 2) * packet)
             if len(chunk):
-                trace.emit(env.sim.now, "protocol", me, "send", "put_start", k)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "send", "put_start", k)
                 yield from env.private_read(len(chunk))
                 yield from env.mpb_write(slot, chunk)
-                trace.emit(env.sim.now, "protocol", me, "send", "put_done", k)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "send", "put_done", k)
             yield from env.set_flag(fl.sent(dest, me), seqs[k])
         # Drain the tail: the final ack means the receiver has everything.
         yield from env.wait_flag(ready, acks[-1])
@@ -101,6 +104,7 @@ class PipelinedTransport(Transport):
         acks = [comm.next_seq(src, me, "ready") for _ in range(npackets)]
         sent = fl.sent(me, src)
         trace = env.device.tracer
+        tracing = trace.wants("protocol")
         out = np.empty(nbytes, np.uint8)
         for k in range(npackets):
             yield from env.wait_flag_pred(sent, _accepts(seqs[k]))
@@ -108,11 +112,13 @@ class PipelinedTransport(Transport):
             size = min(packet, nbytes - start)
             if size > 0:
                 slot = comm.comm_buffer_addr(src, (k % 2) * packet)
-                trace.emit(env.sim.now, "protocol", me, "recv", "get_start", k)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "recv", "get_start", k)
                 yield from env.cl1invmb()
                 chunk = yield from env.mpb_read(slot, size, assume_cold=True)
                 yield from env.private_write(size)
                 out[start : start + size] = chunk
-                trace.emit(env.sim.now, "protocol", me, "recv", "get_done", k)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "recv", "get_done", k)
             yield from env.set_flag(fl.ready(src, me), acks[k])
         return out

@@ -1,0 +1,208 @@
+"""Chrome trace-event (Perfetto-compatible) export of simulator traces.
+
+Converts :class:`repro.sim.trace.TraceRecord` streams — the protocol
+phases of RCCE/iRCCE transfers, vDMA copy spans, and any other enabled
+category — into the Trace Event Format JSON that ``chrome://tracing``
+and https://ui.perfetto.dev load directly. Every emitted event carries
+the keys Perfetto's importer requires: ``ph``, ``ts``, ``pid``, ``tid``
+and ``name``.
+
+Layout convention:
+
+* **pid 0 — "ranks"**: one thread per rank; ``put``/``get`` phases of
+  the blocking and pipelined protocols become complete (``X``) spans,
+  flag toggles and acknowledgements become instant (``i``) marks.
+* **pid 1 — "host"**: one thread per device; vDMA copies become spans,
+  MMIO programming and cache control become instants.
+
+Timestamps are simulated nanoseconds divided by 1000 (the format's
+``ts`` unit is microseconds); sub-ns precision survives as fractions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = ["to_trace_events", "export_chrome_trace", "write_chrome_trace"]
+
+#: Synthetic process ids of the two trace lanes.
+PID_RANKS = 0
+PID_HOST = 1
+
+#: Protocol phases that open/close a span, mapped to the span name.
+_SPAN_STARTS = {"put_start": "put", "get_start": "get"}
+_SPAN_ENDS = {"put_done": "put", "get_done": "get"}
+#: Protocol point events.
+_INSTANTS = {"flag_set", "ack_seen"}
+
+
+def _us(t_ns: float) -> float:
+    return t_ns / 1000.0
+
+
+def _metadata(pid: int, name: str) -> dict:
+    return {
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": 0,
+        "name": "process_name",
+        "args": {"name": name},
+    }
+
+
+def to_trace_events(records: Iterable[TraceRecord]) -> list[dict]:
+    """Convert trace records to a list of Trace Event Format dicts.
+
+    Span phases are paired into complete (``ph="X"``) events keyed by
+    (lane, span-name, index); a start whose end never arrived (a
+    truncated run) degrades to an instant event rather than being
+    dropped.
+    """
+    events: list[dict] = []
+    open_spans: dict[tuple, tuple[float, dict]] = {}
+    pids_seen: set[int] = set()
+
+    for r in records:
+        ts = _us(r.t)
+        if r.category == "protocol":
+            rank, role, phase, index = r.payload
+            pid, tid = PID_RANKS, int(rank)
+            pids_seen.add(pid)
+            if phase in _SPAN_STARTS:
+                name = f"{role}.{_SPAN_STARTS[phase]}"
+                open_spans[(pid, tid, name, index)] = (ts, {"chunk": index})
+            elif phase in _SPAN_ENDS:
+                name = f"{role}.{_SPAN_ENDS[phase]}"
+                start = open_spans.pop((pid, tid, name, index), None)
+                if start is not None:
+                    t0, args = start
+                    events.append(
+                        {
+                            "ph": "X",
+                            "ts": t0,
+                            "dur": ts - t0,
+                            "pid": pid,
+                            "tid": tid,
+                            "name": name,
+                            "cat": r.category,
+                            "args": args,
+                        }
+                    )
+            else:  # flag_set / ack_seen / future point phases
+                events.append(
+                    {
+                        "ph": "i",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": tid,
+                        "name": f"{role}.{phase}",
+                        "cat": r.category,
+                        "s": "t",
+                        "args": {"chunk": index},
+                    }
+                )
+        elif r.category == "vdma":
+            device, phase, *rest = r.payload
+            pid, tid = PID_HOST, int(device)
+            pids_seen.add(pid)
+            if phase == "copy_start":
+                copy_id, nbytes = rest
+                open_spans[(pid, tid, "vdma.copy", copy_id)] = (
+                    ts,
+                    {"copy": copy_id, "bytes": nbytes},
+                )
+            elif phase == "copy_done":
+                copy_id = rest[0]
+                start = open_spans.pop((pid, tid, "vdma.copy", copy_id), None)
+                if start is not None:
+                    t0, args = start
+                    events.append(
+                        {
+                            "ph": "X",
+                            "ts": t0,
+                            "dur": ts - t0,
+                            "pid": pid,
+                            "tid": tid,
+                            "name": "vdma.copy",
+                            "cat": r.category,
+                            "args": args,
+                        }
+                    )
+            else:  # programmed / granule commits / completion flag
+                events.append(
+                    {
+                        "ph": "i",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": tid,
+                        "name": f"vdma.{phase}",
+                        "cat": r.category,
+                        "s": "t",
+                        "args": {"detail": list(rest)},
+                    }
+                )
+        else:
+            # Unknown categories stay visible as host-lane instants.
+            pids_seen.add(PID_HOST)
+            events.append(
+                {
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": PID_HOST,
+                    "tid": 0,
+                    "name": r.category,
+                    "cat": r.category,
+                    "s": "t",
+                    "args": {"payload": [repr(p) for p in r.payload]},
+                }
+            )
+
+    # Truncated spans: keep them on the timeline as instants.
+    for (pid, tid, name, _index), (t0, args) in open_spans.items():
+        events.append(
+            {
+                "ph": "i",
+                "ts": t0,
+                "pid": pid,
+                "tid": tid,
+                "name": f"{name} (unfinished)",
+                "cat": "truncated",
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    meta = []
+    if PID_RANKS in pids_seen:
+        meta.append(_metadata(PID_RANKS, "ranks"))
+    if PID_HOST in pids_seen:
+        meta.append(_metadata(PID_HOST, "host"))
+    return meta + sorted(events, key=lambda e: (e["ts"], e["pid"], e["tid"]))
+
+
+def export_chrome_trace(
+    tracer: Union[Tracer, Iterable[TraceRecord]],
+) -> dict:
+    """Build the Trace Event Format document for a tracer's records."""
+    records = tracer.records if isinstance(tracer, Tracer) else list(tracer)
+    return {
+        "traceEvents": to_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs.chrometrace"},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracer: Union[Tracer, Iterable[TraceRecord]],
+    indent: Optional[int] = None,
+) -> Path:
+    """Write ``trace.json`` loadable by Perfetto; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(export_chrome_trace(tracer), indent=indent))
+    return path

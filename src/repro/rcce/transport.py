@@ -95,29 +95,35 @@ class DefaultGetTransport(Transport):
         fl = comm.flags
         me = comm.rank
         trace = env.device.tracer
+        tracing = trace.wants("protocol")
         buf = comm.comm_buffer_addr(me)
         for index, (start, chunk) in enumerate(comm.iter_chunks(data)):
             seq = comm.next_seq(me, dest, "sent")
             ack = comm.next_seq(me, dest, "ready")
             if len(chunk):
-                trace.emit(env.sim.now, "protocol", me, "send", "put_start", index)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "send", "put_start", index)
                 yield from env.private_read(len(chunk))
                 yield from env.mpb_write(buf, chunk)
-                trace.emit(env.sim.now, "protocol", me, "send", "put_done", index)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "send", "put_done", index)
                 if self.cache_control == self.CACHE_ANNOUNCE:
                     yield from comm.announce_prefetch(len(chunk))
                 elif self.cache_control == self.CACHE_INVALIDATE:
                     yield from comm.cache_invalidate()
             yield from env.set_flag(fl.sent(dest, me), seq)
-            trace.emit(env.sim.now, "protocol", me, "send", "flag_set", index)
+            if tracing:
+                trace.emit(env.sim.now, "protocol", me, "send", "flag_set", index)
             yield from env.wait_flag(fl.ready(me, dest), ack)
-            trace.emit(env.sim.now, "protocol", me, "send", "ack_seen", index)
+            if tracing:
+                trace.emit(env.sim.now, "protocol", me, "send", "ack_seen", index)
 
     def recv(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
         env = comm.env
         fl = comm.flags
         me = comm.rank
         trace = env.device.tracer
+        tracing = trace.wants("protocol")
         src_buf = comm.comm_buffer_addr(src)
         out = np.empty(nbytes, np.uint8)
         for index, (start, size) in enumerate(comm.iter_chunk_sizes(nbytes)):
@@ -125,12 +131,14 @@ class DefaultGetTransport(Transport):
             ack = comm.next_seq(src, me, "ready")
             yield from env.wait_flag(fl.sent(me, src), seq)
             if size:
-                trace.emit(env.sim.now, "protocol", me, "recv", "get_start", index)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "recv", "get_start", index)
                 yield from env.cl1invmb()
                 chunk = yield from env.mpb_read(src_buf, size, assume_cold=True)
                 yield from env.private_write(size)
                 out[start : start + size] = chunk
-                trace.emit(env.sim.now, "protocol", me, "recv", "get_done", index)
+                if tracing:
+                    trace.emit(env.sim.now, "protocol", me, "recv", "get_done", index)
             yield from env.set_flag(fl.ready(src, me), ack)
         return out
 

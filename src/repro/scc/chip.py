@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import label_keys, merge_snapshots
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -42,7 +43,9 @@ class SCCDevice:
         self.sim = sim
         self.params = params or SCCParams()
         self.device_id = device_id
-        self.tracer = tracer or Tracer()
+        # `tracer or Tracer()` would discard a shared-but-empty tracer:
+        # Tracer defines __len__, so a fresh one is falsy.
+        self.tracer = tracer if tracer is not None else Tracer()
         self.mpb = MPBMemory(sim, self.params, device_id)
         self.router = XYRouter(self.params)
         self.tas = TestSetRegisters(sim, self.params, device_id)
@@ -100,6 +103,17 @@ class SCCDevice:
     def core(self, core_id: int) -> CoreEnv:
         self.params._check_core(core_id)
         return self.cores[core_id]
+
+    # -- observability ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """On-die series of this device, labeled ``{device=<id>}``."""
+        snap = merge_snapshots(
+            (self.router.metrics_snapshot(), self.memctrl.metrics_snapshot())
+        )
+        if self._available is not None:
+            snap["cores.available"] = float(len(self._available))
+        return label_keys(snap, device=self.device_id)
 
     # -- addressing helpers -------------------------------------------------------
 

@@ -17,8 +17,10 @@ cannot express.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import registry_for
 from repro.sim.resources import Link
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -50,6 +52,13 @@ class MemoryControllers:
             )
             for i in range(4)
         ]
+        #: Total extra time cores spent queued behind their quadrant
+        #: controller (ns) — 0 whenever the quadrant is uncontended.
+        self.fifo_wait_ns = 0.0
+        self._obs = registry_for(device.sim)
+        self._wait_hist = self._obs.histogram(
+            "memctrl.fifo_wait_ns", device=device.device_id
+        )
 
     def controller_of(self, core_id: int) -> int:
         """Quadrant assignment: west/east × south/north."""
@@ -68,7 +77,25 @@ class MemoryControllers:
         """
         link = self.links[self.controller_of(core_id)]
         arrival = link._occupy(nbytes)
-        return max(0.0, arrival - self.device.sim.now)
+        wait = max(0.0, arrival - self.device.sim.now)
+        self.fifo_wait_ns += wait
+        if self._obs.enabled:
+            self._wait_hist.observe(wait)
+        return wait
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Per-controller series; device label added by the owning chip."""
+        snap: dict[str, float] = {"memctrl.fifo_wait_ns": self.fifo_wait_ns}
+        for i, link in enumerate(self.links):
+            snap[f"memctrl.bytes{{mc={i}}}"] = float(link.bytes_carried)
+        return snap
 
     def bytes_served(self) -> list[int]:
+        """Deprecated: read ``metrics_snapshot()['memctrl.bytes{mc=i}']``."""
+        warnings.warn(
+            "MemoryControllers.bytes_served() is deprecated; use "
+            "metrics_snapshot() (series memctrl.bytes{mc=i})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return [link.bytes_carried for link in self.links]

@@ -25,6 +25,12 @@ class XYRouter:
         self.params = params
         #: bytes carried per directed link ((x,y) -> (x',y')).
         self.link_bytes: Counter[tuple[tuple[int, int], tuple[int, int]]] = Counter()
+        #: cumulative serialization time across all directed links, ns
+        #: (flit bundles × per-flit link cost, summed over hops).
+        self.link_busy_ns = 0.0
+        # Per-32B-flit serialization of one link, cached off the mesh
+        # clock so account() stays a couple of adds on the hot path.
+        self._flit_ns = params.mesh_clock.cycles(params.mesh_flit_mesh_cycles)
 
     def path(self, src_tile: int, dst_tile: int) -> list[tuple[int, int]]:
         """Tile coordinates visited from ``src_tile`` to ``dst_tile``, inclusive."""
@@ -52,9 +58,20 @@ class XYRouter:
         path = self.path(src_tile, dst_tile)
         for a, b in zip(path, path[1:]):
             self.link_bytes[(a, b)] += nbytes
+        flits = -(-nbytes // 32)
+        self.link_busy_ns += flits * self._flit_ns * (len(path) - 1)
 
     def hottest_links(self, n: int = 5) -> list[tuple[tuple, int]]:
         return self.link_bytes.most_common(n)
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Mesh-wide series; the owning device adds its ``device=`` label."""
+        return {
+            "mesh.link_bytes": float(sum(self.link_bytes.values())),
+            "mesh.link_busy_ns": self.link_busy_ns,
+            "mesh.links_used": float(len(self.link_bytes)),
+        }
+
     def reset(self) -> None:
         self.link_bytes.clear()
+        self.link_busy_ns = 0.0

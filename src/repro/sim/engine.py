@@ -252,6 +252,7 @@ class Simulator:
         self._live_processes: set[Process] = set()
         self._failures: list[Process] = []
         self._spawned = 0
+        self.events_processed = 0
 
     # -- process management -------------------------------------------------
 
@@ -274,6 +275,15 @@ class Simulator:
     @property
     def failures(self) -> list[Process]:
         return list(self._failures)
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Kernel-level counters for the unified observability surface."""
+        return {
+            "sim.now_ns": self.now,
+            "sim.events": float(self.events_processed),
+            "sim.processes_spawned": float(self._spawned),
+            "sim.processes_live": float(len(self._live_processes)),
+        }
 
     # -- scheduling ----------------------------------------------------------
 
@@ -317,6 +327,7 @@ class Simulator:
             self.now = when
             proc._step(payload)
             events += 1
+            self.events_processed += 1
             if max_events is not None and events >= max_events:
                 return self.now
         blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
@@ -345,6 +356,7 @@ class Simulator:
                 continue
             self.now = when
             proc._step(payload)
+            self.events_processed += 1
         return event.value
 
 

@@ -55,6 +55,10 @@ class Link:
         self._free_at = 0.0
         self.bytes_carried = 0
         self.transfers = 0
+        #: Cumulative serialization time (overhead + bytes/bandwidth) the
+        #: link spent occupied, in ns — the busy-time numerator of its
+        #: utilization.
+        self.busy_ns = 0.0
 
     # -- timing core ---------------------------------------------------------
 
@@ -67,6 +71,7 @@ class Link:
         self._free_at = start + serialization
         self.bytes_carried += nbytes
         self.transfers += 1
+        self.busy_ns += serialization
         return self._free_at + self.latency_ns
 
     def arrival_after(self, nbytes: int) -> float:
@@ -106,9 +111,18 @@ class Link:
         self.sim.call_at(arrival, _deliver)
         return done
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Unlabeled series; owners qualify them via ``obs.label_keys``."""
+        return {
+            "link.bytes": float(self.bytes_carried),
+            "link.transfers": float(self.transfers),
+            "link.busy_ns": self.busy_ns,
+        }
+
     def reset_stats(self) -> None:
         self.bytes_carried = 0
         self.transfers = 0
+        self.busy_ns = 0.0
 
 
 class Mutex:

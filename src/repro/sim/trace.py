@@ -35,6 +35,16 @@ class Tracer:
     def disable(self, *categories: str) -> None:
         self.enabled.difference_update(categories)
 
+    def wants(self, category: str) -> bool:
+        """Cheap hot-path guard: emit only builds a payload if this holds.
+
+        ``emit(*payload)`` makes the *caller* allocate the payload tuple
+        (and often pre-format values) before the category check runs, so
+        hot call sites must guard with ``if tracer.wants("cat"):`` to
+        keep disabled tracing allocation-free.
+        """
+        return category in self.enabled
+
     def emit(self, t: float, category: str, *payload: Any) -> None:
         if category in self.enabled:
             self.records.append(TraceRecord(t, category, payload))

@@ -12,7 +12,7 @@ from .protocol import (
     VsccSelector,
 )
 from .schemes import CommScheme, DIRECT_THRESHOLD
-from .system import VSCCSystem
+from .system import RunResult, VSCCSystem
 from .topology import VsccTopology
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "DIRECT_THRESHOLD",
     "DirectSmallTransport",
     "RemotePutTransport",
+    "RunResult",
     "VSCCSystem",
     "VdmaTransport",
     "VsccSelector",

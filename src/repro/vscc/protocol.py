@@ -307,21 +307,33 @@ class DirectSmallTransport(Transport):
 
     def send(self, comm: "Rcce", dest: int, data: np.ndarray) -> Generator:
         env, fl, me = comm.env, comm.flags, comm.rank
+        trace = env.device.tracer
+        tracing = trace.wants("protocol")
         ready = fl.ready(me, dest)
         grant = comm.next_seq(me, dest, "ready")
         seq = comm.next_seq(me, dest, "sent")
         ack = comm.next_seq(me, dest, "ready")
         yield from env.wait_flag(ready, grant)
         if len(data):
+            if tracing:
+                trace.emit(env.sim.now, "protocol", me, "send", "put_start", 0)
             yield from env.private_read(len(data))
             yield from env.device.fabric.direct_write(
                 env, comm.comm_buffer_addr(dest), data
             )
+            if tracing:
+                trace.emit(env.sim.now, "protocol", me, "send", "put_done", 0)
         yield from env.set_flag(fl.sent(dest, me), seq)
+        if tracing:
+            trace.emit(env.sim.now, "protocol", me, "send", "flag_set", 0)
         yield from env.wait_flag(ready, ack)
+        if tracing:
+            trace.emit(env.sim.now, "protocol", me, "send", "ack_seen", 0)
 
     def recv(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
         env, fl, me = comm.env, comm.flags, comm.rank
+        trace = env.device.tracer
+        tracing = trace.wants("protocol")
         grant = comm.next_seq(src, me, "ready")
         seq = comm.next_seq(src, me, "sent")
         ack = comm.next_seq(src, me, "ready")
@@ -329,12 +341,16 @@ class DirectSmallTransport(Transport):
         yield from env.wait_flag(fl.sent(me, src), seq)
         out = np.empty(nbytes, np.uint8)
         if nbytes:
+            if tracing:
+                trace.emit(env.sim.now, "protocol", me, "recv", "get_start", 0)
             yield from env.cl1invmb()
             chunk = yield from env.mpb_read(
                 comm.comm_buffer_addr(me), nbytes, assume_cold=True
             )
             yield from env.private_write(nbytes)
             out[:] = chunk
+            if tracing:
+                trace.emit(env.sim.now, "protocol", me, "recv", "get_done", 0)
         yield from env.set_flag(fl.ready(src, me), ack)
         return out
 
@@ -371,6 +387,9 @@ class VsccSelector(TransportSelector):
         self._onchip_pipelined = PipelinedTransport(packet_bytes=options.pipeline_packet)
         self._direct = DirectSmallTransport()
         self._cross = self._build_cross(scheme)
+        #: Messages routed per transport name (selection happens once per
+        #: send/recv, so counting here is off the byte-moving hot path).
+        self.selections: dict[str, int] = {}
 
     def _build_cross(self, scheme: CommScheme) -> Transport:
         if scheme is CommScheme.TRANSPARENT:
@@ -393,11 +412,23 @@ class VsccSelector(TransportSelector):
             return VdmaTransport(self.host, fused_mmio=self.vdma_fused_mmio)
         raise ValueError(f"unknown scheme {scheme}")  # pragma: no cover
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Selection counts, one series per transport name."""
+        return {
+            f"scheme.selected{{transport={name}}}": float(count)
+            for name, count in sorted(self.selections.items())
+        }
+
     def select(self, comm: "Rcce", peer: int, nbytes: int) -> Transport:
         if comm.layout.same_device(comm.rank, peer):
             if self.options.pipelined and nbytes > self.options.pipeline_threshold:
-                return self._onchip_pipelined
-            return self._onchip_default
-        if self.host.extensions_enabled and nbytes <= self.direct_threshold:
-            return self._direct
-        return self._cross
+                chosen = self._onchip_pipelined
+            else:
+                chosen = self._onchip_default
+        elif self.host.extensions_enabled and nbytes <= self.direct_threshold:
+            chosen = self._direct
+        else:
+            chosen = self._cross
+        name = chosen.name
+        self.selections[name] = self.selections.get(name, 0) + 1
+        return chosen

@@ -13,17 +13,28 @@ rank layout over the cores that booted — and runs RCCE programs on it::
             data = yield from comm.recv(5, src=0)
 
     system = VSCCSystem(num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
-    results = system.launch(program)
+    result = system.run(program)
+    result.results[239]       # per-rank return values
+    result.metrics["pcie.bytes{device=0,dir=up}"]
+
+Observability: ``system.obs`` is the simulator-scoped metrics registry
+(:mod:`repro.obs`); flip ``system.obs.enabled = True`` before running to
+collect the typed instruments (histograms, gauges) on top of the
+always-on counters. ``run(trace_json=...)`` additionally records
+protocol/vDMA trace events and writes a Chrome-trace file.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Generator, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.host.driver import Host, HostParams
 from repro.host.pcie import PCIeParams
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, registry_for
 from repro.rcce.api import Rcce, RcceOptions
 from repro.rcce.config import RankLayout, SccConfigFile
 from repro.rcce.flags import FlagLayout
@@ -36,7 +47,34 @@ from .protocol import VsccSelector
 from .schemes import CommScheme
 from .topology import VsccTopology
 
-__all__ = ["VSCCSystem"]
+__all__ = ["RunResult", "VSCCSystem"]
+
+#: Trace categories recorded when ``run(trace_json=...)`` is used.
+TRACE_CATEGORIES = ("protocol", "vdma")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What one :meth:`VSCCSystem.run` produced.
+
+    ``elapsed_ns``/``core_cycles`` cover only this run (the simulator
+    clock is monotonic across runs on the same system).
+    """
+
+    #: Per-rank return value of the program generator.
+    results: dict[int, Any] = field(default_factory=dict)
+    #: Simulated wall time this run took (ns).
+    elapsed_ns: float = 0.0
+    #: ``elapsed_ns`` in core-clock cycles (533 MHz by default).
+    core_cycles: float = 0.0
+    #: Aggregated metrics snapshot at the end of the run (cumulative
+    #: over the system's lifetime, not per-run).
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Where the Chrome trace was written, if requested.
+    trace_path: Optional[Path] = None
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.results[rank]
 
 
 class VSCCSystem:
@@ -98,6 +136,9 @@ class VSCCSystem:
             vdma_fused_mmio=vdma_fused_mmio,
         )
         self._comms: dict[int, Rcce] = {}
+        #: The simulator-scoped metrics registry (disabled by default so
+        #: the hot path stays allocation-free; see :mod:`repro.obs`).
+        self.obs: MetricsRegistry = registry_for(self.sim)
 
     # -- communicators ---------------------------------------------------------
 
@@ -136,18 +177,74 @@ class VSCCSystem:
             procs[rank] = self.sim.spawn(program(comm), name=f"rank{rank}")
         return procs
 
+    def run(
+        self,
+        program: Callable[[Rcce], Generator],
+        ranks: Optional[Sequence[int]] = None,
+        until: Optional[float] = None,
+        trace_json: Optional[Union[str, Path]] = None,
+    ) -> RunResult:
+        """Spawn ``program`` on ``ranks``, run to completion, report.
+
+        ``trace_json`` enables protocol/vDMA tracing for the duration of
+        the run and writes a Chrome-trace (Perfetto-loadable) file there.
+        """
+        extra_categories = []
+        if trace_json is not None:
+            extra_categories = [
+                c for c in TRACE_CATEGORIES if not self.tracer.wants(c)
+            ]
+            self.tracer.enable(*extra_categories)
+        start_ns = self.sim.now
+        try:
+            procs = self.spawn_ranks(program, ranks)
+            self.sim.run(until=until)
+            trace_path = None
+            if trace_json is not None:
+                from repro.obs.chrometrace import write_chrome_trace
+
+                trace_path = write_chrome_trace(trace_json, self.tracer)
+        finally:
+            if extra_categories:
+                self.tracer.disable(*extra_categories)
+        elapsed_ns = self.sim.now - start_ns
+        return RunResult(
+            results={rank: proc.result for rank, proc in procs.items()},
+            elapsed_ns=elapsed_ns,
+            core_cycles=self.params.core_clock.to_cycles(elapsed_ns),
+            metrics=self.metrics,
+            trace_path=trace_path,
+        )
+
     def launch(
         self,
         program: Callable[[Rcce], Generator],
         ranks: Optional[Sequence[int]] = None,
         until: Optional[float] = None,
     ) -> dict[int, object]:
-        """Spawn, run to completion, and return per-rank results."""
-        procs = self.spawn_ranks(program, ranks)
-        self.sim.run(until=until)
-        return {rank: proc.result for rank, proc in procs.items()}
+        """Spawn, run to completion, and return per-rank results.
+
+        Thin shim over :meth:`run` kept for existing callers; new code
+        should use ``run`` and read ``RunResult.results``.
+        """
+        return self.run(program, ranks=ranks, until=until).results
 
     # -- stats ----------------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        """One aggregated snapshot of every instrumented component.
+
+        Series use the ``name{label=value,...}`` key format; device-side
+        series carry a ``device=`` label. Includes the typed-instrument
+        registry (``system.obs``) when it was enabled.
+        """
+        parts = [self.sim.metrics_snapshot()]
+        parts.extend(device.metrics_snapshot() for device in self.devices)
+        parts.append(self.host.metrics_snapshot())
+        parts.append(self.selector.metrics_snapshot())
+        parts.append(self.obs.snapshot())
+        return merge_snapshots(parts)
 
     def traffic_matrix(self) -> np.ndarray:
         """bytes sent per (src, dst) rank pair so far."""

@@ -1,5 +1,6 @@
 """The shipped examples run end to end (as a user would invoke them)."""
 
+import json
 import runpy
 import sys
 
@@ -17,6 +18,28 @@ def run_example(name, argv=()):
 
 def test_quickstart():
     run_example("quickstart.py")
+
+
+def test_quickstart_observability_outputs(tmp_path):
+    """The CI smoke job's contract: valid metrics JSON + loadable trace."""
+    metrics_path = tmp_path / "m.json"
+    trace_path = tmp_path / "t.json"
+    run_example(
+        "quickstart.py",
+        [f"--metrics-json={metrics_path}", f"--trace-json={trace_path}"],
+    )
+    sys.path.insert(0, "tools")
+    try:
+        from validate_metrics import validate
+    finally:
+        sys.path.pop(0)
+    doc = json.loads(metrics_path.read_text())
+    assert validate(doc) == []
+    assert doc["metrics"]["pcie.bytes{device=0,dir=up}"] > 0
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    for event in trace["traceEvents"]:
+        assert {"ph", "ts", "pid", "tid", "name"} <= set(event)
 
 
 def test_gory_vdma():

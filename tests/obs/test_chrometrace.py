@@ -1,0 +1,108 @@
+"""Chrome-trace exporter tests: structural validity for Perfetto."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.chrometrace import (
+    PID_HOST,
+    PID_RANKS,
+    export_chrome_trace,
+    to_trace_events,
+    write_chrome_trace,
+)
+from repro.sim.trace import TraceRecord, Tracer
+
+REQUIRED_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+def _protocol(t, rank, role, phase, index=0):
+    return TraceRecord(t, "protocol", (rank, role, phase, index))
+
+
+def test_protocol_spans_pair_into_complete_events():
+    records = [
+        _protocol(1000.0, 0, "send", "put_start"),
+        _protocol(3000.0, 0, "send", "put_done"),
+        _protocol(3100.0, 0, "send", "flag_set"),
+        _protocol(5000.0, 0, "send", "ack_seen"),
+    ]
+    events = to_trace_events(records)
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert span["name"] == "send.put"
+    assert span["ts"] == 1.0  # ns -> us
+    assert span["dur"] == 2.0
+    assert span["pid"] == PID_RANKS and span["tid"] == 0
+    assert {e["name"] for e in instants} == {"send.flag_set", "send.ack_seen"}
+
+
+def test_vdma_spans_and_instants():
+    records = [
+        TraceRecord(0.0, "vdma", (1, "programmed", 1, 4096)),
+        TraceRecord(100.0, "vdma", (1, "copy_start", 1, 4096)),
+        TraceRecord(900.0, "vdma", (1, "copy_done", 1)),
+    ]
+    events = to_trace_events(records)
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["name"] == "vdma.copy"
+    assert spans[0]["pid"] == PID_HOST and spans[0]["tid"] == 1
+    assert spans[0]["args"]["bytes"] == 4096
+    assert any(e["name"] == "vdma.programmed" for e in events)
+
+
+def test_unfinished_span_degrades_to_instant():
+    events = to_trace_events([_protocol(10.0, 2, "recv", "get_start")])
+    unfinished = [e for e in events if "unfinished" in e["name"]]
+    assert len(unfinished) == 1
+    assert unfinished[0]["ph"] == "i"
+    assert unfinished[0]["tid"] == 2
+
+
+def test_unknown_category_stays_visible():
+    events = to_trace_events([TraceRecord(5.0, "power", ("d0", "throttle"))])
+    named = [e for e in events if e["name"] == "power"]
+    assert len(named) == 1 and named[0]["ph"] == "i"
+
+
+def test_every_event_has_required_keys_and_sorted_ts():
+    records = [
+        _protocol(2000.0, 1, "recv", "get_start"),
+        _protocol(4000.0, 1, "recv", "get_done"),
+        TraceRecord(500.0, "vdma", (0, "copy_start", 7, 64)),
+        TraceRecord(700.0, "vdma", (0, "copy_done", 7)),
+        _protocol(100.0, 0, "send", "flag_set"),
+    ]
+    events = to_trace_events(records)
+    assert events, "expected events"
+    for event in events:
+        assert REQUIRED_KEYS <= set(event)
+    body = [e for e in events if e["ph"] != "M"]
+    assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+    # Metadata names both lanes.
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} == {"ranks", "host"}
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    tracer = Tracer()
+    tracer.enable("protocol")
+    tracer.emit(1000.0, "protocol", 0, "send", "put_start", 0)
+    tracer.emit(2000.0, "protocol", 0, "send", "put_done", 0)
+    path = write_chrome_trace(tmp_path / "trace.json", tracer)
+    loaded = json.loads(path.read_text())
+    assert isinstance(loaded["traceEvents"], list)
+    assert loaded["displayTimeUnit"] == "ms"
+    for event in loaded["traceEvents"]:
+        assert REQUIRED_KEYS <= set(event)
+    doc = export_chrome_trace(tracer)
+    assert doc["traceEvents"] == loaded["traceEvents"]
+
+
+def test_exporter_accepts_plain_record_iterables(tmp_path):
+    records = [_protocol(0.0, 0, "send", "flag_set")]
+    doc = export_chrome_trace(records)
+    assert any(e["name"] == "send.flag_set" for e in doc["traceEvents"])

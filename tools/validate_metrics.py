@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Validate run-metrics JSON files against the checked-in schema.
+
+Stdlib-only: implements exactly the JSON-Schema subset
+``schemas/run_metrics.schema.json`` uses (type, const, required,
+properties, additionalProperties, propertyNames.pattern, minLength) so
+CI needs no third-party validator.
+
+Usage:  python tools/validate_metrics.py FILE [FILE ...]
+Exit status is non-zero if any file fails validation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "schemas" / "run_metrics.schema.json"
+
+_TYPES = {
+    "object": dict,
+    "string": str,
+    "number": (int, float),
+    "boolean": bool,
+    "array": list,
+}
+
+
+def _check(value, schema, path: str, errors: list[str]) -> None:
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        pytype = _TYPES[expected]
+        # bool is an int subclass; a True where a number belongs is a bug.
+        if isinstance(value, bool) and expected != "boolean":
+            errors.append(f"{path}: expected {expected}, got boolean")
+            return
+        if not isinstance(value, pytype):
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if expected == "string" and len(value) < schema.get("minLength", 0):
+        errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+    if expected != "object":
+        return
+
+    props = schema.get("properties", {})
+    for key in schema.get("required", []):
+        if key not in value:
+            errors.append(f"{path}: missing required key {key!r}")
+    name_pattern = schema.get("propertyNames", {}).get("pattern")
+    additional = schema.get("additionalProperties", True)
+    for key, sub in value.items():
+        if name_pattern and not re.match(name_pattern, key):
+            errors.append(f"{path}.{key}: key does not match {name_pattern!r}")
+        if key in props:
+            _check(sub, props[key], f"{path}.{key}", errors)
+        elif additional is False:
+            errors.append(f"{path}: unexpected key {key!r}")
+        elif isinstance(additional, dict):
+            _check(sub, additional, f"{path}.{key}", errors)
+
+
+def validate(doc, schema=None) -> list[str]:
+    """All schema violations of ``doc`` (empty list: valid)."""
+    if schema is None:
+        schema = json.loads(SCHEMA_PATH.read_text())
+    errors: list[str] = []
+    _check(doc, schema, "$", errors)
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text())
+    status = 0
+    for arg in argv:
+        try:
+            doc = json.loads(Path(arg).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{arg}: unreadable ({exc})")
+            status = 1
+            continue
+        errors = validate(doc, schema)
+        if errors:
+            status = 1
+            print(f"{arg}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            n = len(doc.get("metrics", {}))
+            print(f"{arg}: OK ({n} series)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
