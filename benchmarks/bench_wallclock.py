@@ -1,0 +1,255 @@
+"""Wall-clock performance harness: the repo's perf trajectory.
+
+Unlike the figure benches (which report *simulated* nanoseconds), this
+harness measures **host wall-clock seconds** for a fixed set of
+deterministic scenarios — the paper's figure workloads plus the
+kernel-primitive micro-benchmarks — and records them in a JSON document
+(checked in at the repo root as ``BENCH_wallclock.json``).
+
+Every scenario returns a *fingerprint* of its simulated results
+(``sim_now_ns``, event counts, traffic totals). Fingerprints must be
+bit-identical across repeats and across optimization PRs: a kernel
+change that shifts wall-clock is expected, one that shifts the
+fingerprint is a correctness bug. ``tools/perf_gate.py`` enforces both
+properties against the checked-in baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py                # print table
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --out run.json # also write JSON
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --update-baseline BENCH_wallclock.json                         # refresh baseline
+
+``--update-baseline`` merges the fresh measurement into an existing
+baseline file: ``before_wall_s`` (the pre-optimization anchor of each
+scenario, the start of its trajectory) is preserved, ``wall_s`` is
+replaced, and the speedup is recomputed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_kernel_micro import (  # noqa: E402
+    KernelUnsupported,
+    router_account,
+    spawn_delay_churn,
+    watchpoint_pulse,
+    yield_float_churn,
+    zero_delay_churn,
+)
+
+SCHEMA_VERSION = 1
+#: Allowed wall-clock regression before tools/perf_gate.py fails (15 %).
+REGRESSION_TOLERANCE = 0.15
+
+
+# -- figure-level scenarios ----------------------------------------------------
+
+
+def fig6a_pingpong() -> dict:
+    """On-chip ping-pong sweep (Fig 6a): RCCE default vs iRCCE pipelined."""
+    from repro.bench import fig6a_onchip
+
+    series = fig6a_onchip((256, 1024, 4096, 8192, 16384, 32768), iterations=4)
+    total = sum(p.oneway_ns for pts in series.values() for p in pts)
+    return {"oneway_sum_ns": total}
+
+
+def fig6b_interdevice() -> dict:
+    """Inter-device ping-pong (Fig 6b) over the three stable schemes."""
+    from repro.bench import fig6b_interdevice as run_fig6b
+    from repro.vscc.schemes import CommScheme
+
+    series = run_fig6b(
+        (1024, 16384, 65536),
+        iterations=3,
+        schemes=(
+            CommScheme.REMOTE_PUT_WCB,
+            CommScheme.LOCAL_PUT_REMOTE_GET,
+            CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        ),
+        num_devices=2,
+    )
+    total = sum(p.oneway_ns for pts in series.values() for p in pts)
+    return {"oneway_sum_ns": total}
+
+
+def fig7_bt() -> dict:
+    """NPB BT (class S, 64 ranks, vDMA scheme) on the five-device system."""
+    from repro.apps.npb import BTBenchmark
+    from repro.vscc.schemes import CommScheme
+    from repro.vscc.system import VSCCSystem
+
+    bench = BTBenchmark(clazz="S", nranks=64, niter=1, mode="model")
+    system = VSCCSystem(
+        num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+    )
+    system.launch(bench.program, ranks=range(64))
+    return {
+        "sim_now_ns": system.sim.now,
+        "events": system.sim.events_processed,
+    }
+
+
+def fig8_traffic() -> dict:
+    """BT traffic-matrix slice (Fig 8): 64 ranks over two devices."""
+    from repro.bench import fig8_bt_traffic
+
+    _matrix, stats, _rendering, _scaled = fig8_bt_traffic(64, "S", 1, 2)
+    return {
+        "total_bytes": float(stats.total_bytes),
+        "max_pair_bytes": float(stats.max_pair_bytes),
+    }
+
+
+# -- registry ------------------------------------------------------------------
+
+SCENARIOS = {
+    "fig6a_pingpong": fig6a_pingpong,
+    "fig6b_interdevice": fig6b_interdevice,
+    "fig7_bt": fig7_bt,
+    "fig8_traffic": fig8_traffic,
+    "micro_spawn_delay": spawn_delay_churn,
+    "micro_yield_float": yield_float_churn,
+    "micro_zero_delay": zero_delay_churn,
+    "micro_watchpoint_pulse": watchpoint_pulse,
+    "micro_router_account": router_account,
+}
+
+
+def run_scenarios(names: list[str], repeat: int) -> dict:
+    """Run each scenario ``repeat`` times; keep the best wall second.
+
+    The simulated fingerprint must be identical across repeats —
+    a mismatch means the simulation itself is nondeterministic, which is
+    a hard error (no timing numbers are trustworthy then).
+    """
+    results: dict[str, dict] = {}
+    for name in names:
+        fn = SCENARIOS[name]
+        best = None
+        fingerprint = None
+        skipped = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            try:
+                fp = fn()
+            except KernelUnsupported as exc:
+                skipped = str(exc)
+                break
+            wall = time.perf_counter() - t0
+            if fingerprint is None:
+                fingerprint = fp
+            elif fp != fingerprint:
+                raise AssertionError(
+                    f"scenario {name!r} is nondeterministic: "
+                    f"{fp} != {fingerprint}"
+                )
+            if best is None or wall < best:
+                best = wall
+        if skipped is not None:
+            results[name] = {"skipped": skipped}
+            continue
+        results[name] = {"wall_s": round(best, 4), **fingerprint}
+    return results
+
+
+# -- JSON I/O ------------------------------------------------------------------
+
+
+def fresh_document(results: dict) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "tolerance": REGRESSION_TOLERANCE,
+        "generated_by": "benchmarks/bench_wallclock.py",
+        "scenarios": results,
+    }
+
+
+def merge_baseline(baseline: dict, results: dict) -> dict:
+    """Fold a fresh run into an existing baseline document.
+
+    Per scenario: ``before_wall_s`` is kept (or seeded from the old
+    ``wall_s`` the first time a scenario is re-measured), ``wall_s``
+    becomes the fresh number, fingerprints are replaced.
+    """
+    old = baseline.get("scenarios", {})
+    merged: dict[str, dict] = {}
+    for name, fresh in results.items():
+        entry = dict(fresh)
+        prev = old.get(name, {})
+        if "wall_s" in entry:
+            before = prev.get("before_wall_s", prev.get("wall_s"))
+            if before is not None:
+                entry["before_wall_s"] = before
+                entry["speedup"] = round(before / entry["wall_s"], 3)
+        merged[name] = entry
+    doc = fresh_document(merged)
+    return doc
+
+
+def print_table(results: dict) -> None:
+    print(f"{'scenario':26s} {'wall_s':>9s} {'before_s':>9s} {'speedup':>8s}")
+    for name, entry in results.items():
+        if "skipped" in entry:
+            print(f"{name:26s} {'skipped':>9s}  ({entry['skipped']})")
+            continue
+        before = entry.get("before_wall_s")
+        speedup = entry.get("speedup")
+        print(
+            f"{name:26s} {entry['wall_s']:9.4f} "
+            f"{before if before is not None else float('nan'):9.4f} "
+            f"{speedup if speedup is not None else float('nan'):8.2f}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="run only these scenarios (default: all)",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--out", type=Path, help="write the fresh run as JSON")
+    parser.add_argument(
+        "--update-baseline",
+        type=Path,
+        metavar="BASELINE_JSON",
+        help="merge the fresh run into this baseline file in place",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.scenario or sorted(SCENARIOS)
+    results = run_scenarios(names, max(1, args.repeat))
+
+    if args.update_baseline is not None:
+        baseline = {}
+        if args.update_baseline.exists():
+            baseline = json.loads(args.update_baseline.read_text())
+        doc = merge_baseline(baseline, results)
+        args.update_baseline.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.update_baseline}")
+        print_table(doc["scenarios"])
+    else:
+        print_table(results)
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(fresh_document(results), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

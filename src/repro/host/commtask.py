@@ -23,12 +23,11 @@ cache hooks, and implements the per-request behaviours:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 import numpy as np
 
-from repro.scc.mpb import MpbAddr
-from repro.sim.engine import Delay
+from repro.scc.mpb import MpbAddr, as_u8
 
 from .mmio import (
     MmioBank,
@@ -76,6 +75,9 @@ class CommunicationTask:
         #: announce (live streams are summed on top at snapshot time).
         self._wcb_retired_bytes = 0
         self._wcb_retired_flushes = 0
+        #: Routed line round-trip time per (target_device, read) — the
+        #: cable/host parameters are immutable, so compute once.
+        self._rtt_cache: dict[tuple[int, bool], float] = {}
         self._wire_msg_handlers()
 
     def metrics_snapshot(self) -> dict[str, float]:
@@ -102,6 +104,9 @@ class CommunicationTask:
 
     def _line_rtt_ns(self, target_device: int, read: bool) -> float:
         """End-to-end round trip for one transparently routed line."""
+        cached = self._rtt_cache.get((target_device, read))
+        if cached is not None:
+            return cached
         host = self.host
         src_cable = self.cable
         dst_cable = host.cable_of(target_device)
@@ -115,7 +120,9 @@ class CommunicationTask:
             + (REQUEST_BYTES + LINE_PACKET_BYTES) / p_dst.bandwidth_bpns
         )
         service = 2 * host.params.service_ns + p_dst.fpga_service_ns
-        return wire + service
+        rtt = wire + service
+        self._rtt_cache[(target_device, read)] = rtt
+        return rtt
 
     def _account_routed(self, target_device: int, nbytes: int) -> None:
         """Byte accounting for analytically charged routed transfers."""
@@ -140,11 +147,11 @@ class CommunicationTask:
         target = self.host.device_of(addr.device)
         lines = max(1, -(-length // 32))
         rtt = self._line_rtt_ns(addr.device, read=True)
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES))
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
         left = lines
         while left > 0:
             batch = min(COARSEN_LINES, left)
-            yield Delay(batch * rtt)
+            yield batch * rtt
             left -= batch
         self.routed_reads += lines
         self._account_routed(addr.device, length + lines * REQUEST_BYTES)
@@ -160,11 +167,11 @@ class CommunicationTask:
         length = len(data)
         lines = max(1, -(-length // 32))
         rtt = self._line_rtt_ns(addr.device, read=False)
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, length))
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
         left = lines
         while left > 0:
             batch = min(COARSEN_LINES, left)
-            yield Delay(batch * rtt)
+            yield batch * rtt
             left -= batch
         self.routed_writes += lines
         self._account_routed(addr.device, length + lines * REQUEST_BYTES)
@@ -190,8 +197,11 @@ class CommunicationTask:
         length = len(data)
         lines = max(1, -(-length // 32))
         ack_ns = cable.params.fpga_ack_ns
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, length))
-        payload = np.frombuffer(bytes(data), np.uint8)
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
+        # Zero-copy: chunks below are views; the issuing core stalls on
+        # FPGA acks (and the flag path fences) until delivery, so the
+        # source bytes are stable for the lifetime of every view.
+        payload = as_u8(data)
 
         combiner = None
         if via_host_wcb:
@@ -210,7 +220,7 @@ class CommunicationTask:
             batch = min(COARSEN_LINES, left)
             nbytes = min(batch * 32, length - offset)
             # The issuing core stalls one FPGA ack per 32 B burst.
-            yield Delay(batch * ack_ns)
+            yield batch * ack_ns
             chunk = payload[offset : offset + nbytes]
             if combiner is not None:
                 off = base + offset
@@ -247,9 +257,11 @@ class CommunicationTask:
         cable = self.cable
         length = len(data)
         lines = max(1, -(-length // 32))
-        payload = np.frombuffer(bytes(data), np.uint8).copy()
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, length))
-        yield Delay(lines * cable.params.fpga_ack_ns)
+        # One snapshot copy (≤ threshold, so ≤128 B): delivery is fully
+        # posted, the sender may reuse its buffer before arrival.
+        payload = as_u8(data).copy()
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
+        yield lines * cable.params.fpga_ack_ns
         dst_cable = host.cable_of(addr.device)
         dst_dev = host.device_of(addr.device)
 
@@ -282,8 +294,6 @@ class CommunicationTask:
             self._wcb_retired_flushes += old.flushes
         self._combiners[env.core_id] = combiner
         self._wcb_expected[env.core_id] = True
-        from .mmio import REG_MSG_ADDR, REG_MSG_COUNT
-
         yield from self.mmio_write(
             env,
             [
@@ -334,8 +344,8 @@ class CommunicationTask:
             return
         yield from self.fence_wcb(env.core_id)
         cable = self.cable
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES))
-        yield Delay(cable.params.fpga_ack_ns)
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
+        yield cable.params.fpga_ack_ns
         dst_cable = host.cable_of(addr.device)
         dst_dev = host.device_of(addr.device)
 
@@ -360,8 +370,8 @@ class CommunicationTask:
         """
         cable = self.cable
         transactions = 1 if fused else len(regs)
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions))
-        yield Delay(transactions * cable.params.fpga_ack_ns)
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions)
+        yield transactions * cable.params.fpga_ack_ns
 
         def deliver() -> None:
             for reg, value in regs:
@@ -377,9 +387,9 @@ class CommunicationTask:
 
     def mmio_read(self, env: "CoreEnv", reg: int) -> Generator:
         cable = self.cable
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES))
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
         yield from cable.up.transfer(REQUEST_BYTES)
-        yield Delay(self.host.params.service_ns)
+        yield self.host.params.service_ns
         value = self.mmio.read(reg)
         yield from cable.down.transfer(LINE_PACKET_BYTES)
         return value

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Generator, Union
 
 import numpy as np
 
-from repro.scc.mpb import MpbAddr
+from repro.scc.mpb import MpbAddr, as_u8
 
 from .regions import RegionKind
 
@@ -68,7 +68,7 @@ class HostFabric:
 
     def remote_write(self, env: "CoreEnv", addr: MpbAddr, data: Bytes) -> Generator:
         host = self.host
-        payload = np.frombuffer(bytes(data), np.uint8)
+        payload = as_u8(data)
         cable = host.cable_of(self.device_id)
         if cable.fast_write_ack:
             yield from self._task().streamed_write(env, addr, payload, via_host_wcb=False)
@@ -87,8 +87,7 @@ class HostFabric:
     def direct_write(self, env: "CoreEnv", addr: MpbAddr, data: Bytes) -> Generator:
         """Sub-threshold direct transfer path (requires extensions)."""
         self.host.require_extensions("direct small-message transfers")
-        payload = np.frombuffer(bytes(data), np.uint8)
-        yield from self._task().small_direct_write(env, addr, payload)
+        yield from self._task().small_direct_write(env, addr, as_u8(data))
 
     def remote_flag_write(self, env: "CoreEnv", addr: MpbAddr, value: int) -> Generator:
         fast = self.host.extensions_enabled or self.host.cable_of(self.device_id).fast_write_ack

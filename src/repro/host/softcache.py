@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Generator
 import numpy as np
 
 from repro.scc.mpb import MpbAddr
-from repro.sim.engine import Delay, Event, Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.queue import SimQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -193,9 +193,9 @@ class HostMpbCache:
 
         # Warm-up: the first read misses the SIF response buffer and
         # travels to the host as an explicit request.
-        yield Delay(env.device.sif.mesh_to_sif_ns(env.core_id, 16))
+        yield env.device.sif.mesh_to_sif_ns(env.core_id, 16)
         yield from cable.up.transfer(16)
-        yield Delay(host.params.service_ns)
+        yield host.params.service_ns
 
         group = host.params.push_group
         capacity_groups = max(
@@ -225,7 +225,7 @@ class HostMpbCache:
             ev, offset, size = yield from arrivals.get()
             yield ev  # group present in the SIF response buffer
             lines = -(-size // 32)
-            yield Delay(lines * line_ns)  # receiver core drains the group
+            yield lines * line_ns  # receiver core drains the group
             out[offset : offset + size] = entry.buf[rel + offset : rel + offset + size]
             credits.put(None)
             drained += size

@@ -151,9 +151,7 @@ class VDMAController:
                 all_committed.trigger()
 
         # Host-side engine startup (descriptor build, thread hand-off).
-        from repro.sim.engine import Delay
-
-        yield Delay(host.params.vdma_setup_ns)
+        yield host.params.vdma_setup_ns
 
         offset = 0
         for index, size in enumerate(sizes):

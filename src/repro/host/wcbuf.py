@@ -92,7 +92,7 @@ class HostWriteCombiner:
         end = offset + len(data)
         if end > len(self._buf):
             raise ValueError("write stream exceeds the opened extent")
-        self._buf[offset:end] = np.frombuffer(bytes(data), np.uint8)
+        self._buf[offset:end] = data
         self._filled = end
         self.bytes_combined += len(data)
         self._progress.pulse()

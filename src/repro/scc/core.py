@@ -21,7 +21,6 @@ from typing import TYPE_CHECKING, Generator, Optional, Union
 
 import numpy as np
 
-from repro.sim.engine import Delay
 from repro.sim.errors import SimulationError
 
 from .cache import L1MpbtCache
@@ -56,6 +55,22 @@ class CoreEnv:
         self.tile = device.params.tile_of_core(core_id)
         self.l1 = L1MpbtCache()
         self.wcb = WriteCombineBuffer()
+        # Derived per-access costs, hoisted out of the coroutines: the
+        # params are frozen, so these never change (clock_scale, which
+        # does change under power management, is applied per access).
+        p = device.params
+        self._core_clock = p.core_clock
+        self._cores_per_tile = p.cores_per_tile
+        self._tiles_x = p.tiles_x
+        self._tile_x = self.tile % self._tiles_x
+        self._tile_y = self.tile // self._tiles_x
+        self._local_read_hit_ns = p.local_read_ns(l1_hit=True)
+        self._local_read_ns = p.local_read_ns()
+        self._local_write_ns = p.local_write_ns()
+        self._cl1invmb_ns = self._core_clock.cycles(p.cl1invmb_cycles)
+        self._poll_base_ns = self._core_clock.cycles(p.flag_poll_cycles) + p.local_read_ns()
+        self._dram_read_line_ns = p.dram_read_line_ns()
+        self._dram_write_line_ns = p.dram_write_line_ns()
         self.stats: dict[str, float] = {
             "mpb_bytes_read": 0,
             "mpb_bytes_written": 0,
@@ -83,8 +98,14 @@ class CoreEnv:
     def _is_local(self, addr: MpbAddr) -> bool:
         return (
             addr.device == self.device.device_id
-            and self.params.tile_of_core(addr.core) == self.tile
+            and addr.core // self._cores_per_tile == self.tile
         )
+
+    def _hops_to(self, core: int) -> int:
+        """XY hop count from this core's tile to ``core``'s tile."""
+        tile = core // self._cores_per_tile
+        tx = self._tiles_x
+        return abs(tile % tx - self._tile_x) + abs(tile // tx - self._tile_y)
 
     @property
     def clock_scale(self) -> float:
@@ -112,10 +133,10 @@ class CoreEnv:
 
     def compute(self, ns: float = 0.0, cycles: float = 0.0) -> Generator:
         """Charge pure compute time (``cycles`` are core cycles)."""
-        total = (ns + self.params.core_clock.cycles(cycles)) * self.clock_scale
+        total = (ns + self._core_clock.cycles(cycles)) * self.clock_scale
         self.stats["compute_ns"] += total
         if total > 0:
-            yield Delay(total)
+            yield total
 
     def compute_flops(self, flops: float, flops_per_cycle: float) -> Generator:
         """Charge compute for ``flops`` at a sustained per-cycle rate."""
@@ -126,10 +147,10 @@ class CoreEnv:
     # -- private memory -------------------------------------------------------------
 
     def private_read(self, nbytes: int) -> Generator:
-        yield from self._private_access(nbytes, self.params.dram_read_line_ns())
+        yield from self._private_access(nbytes, self._dram_read_line_ns)
 
     def private_write(self, nbytes: int) -> Generator:
-        yield from self._private_access(nbytes, self.params.dram_write_line_ns())
+        yield from self._private_access(nbytes, self._dram_write_line_ns)
 
     def _private_access(self, nbytes: int, line_ns: float) -> Generator:
         """Private DRAM access: core-side cost overlapped with the
@@ -139,17 +160,14 @@ class CoreEnv:
         self.stats["private_bytes"] += nbytes
         core_side = lines * line_ns * self.clock_scale
         mc_wait = self.device.memctrl.occupancy_wait_ns(self.core_id, nbytes)
-        yield Delay(max(core_side, mc_wait))
+        yield max(core_side, mc_wait)
 
     # -- MPB reads ---------------------------------------------------------------------
 
     def cl1invmb(self) -> Generator:
         """Invalidate all MPBT lines in L1 (single instruction)."""
         self.l1.cl1invmb()
-        yield Delay(
-            self.params.core_clock.cycles(self.params.cl1invmb_cycles)
-            * self.clock_scale
-        )
+        yield self._cl1invmb_ns * self.clock_scale
 
     def mpb_read(self, addr: MpbAddr, length: int, assume_cold: bool = False) -> Generator:
         """Read ``length`` bytes of on-chip memory; returns an ndarray.
@@ -165,32 +183,34 @@ class CoreEnv:
         mem = self.device.mpb
         mem.check_span(addr, length)
         local = self._is_local(addr)
-        hops = 0 if local else p.hops(self.core_id, addr.core)
+        hops = 0 if local else self._hops_to(addr.core)
         cost = self._read_cost_ns(addr, length, local, hops, assume_cold)
         cost *= self.clock_scale
         if not local:
-            self.device.router.account(self.tile, p.tile_of_core(addr.core), length)
+            self.device.router.account(
+                self.tile, addr.core // self._cores_per_tile, length
+            )
         self.stats["mpb_bytes_read"] += length
-        yield Delay(cost)
+        yield cost
         return mem.read(addr, length)
 
     def _read_cost_ns(
         self, addr: MpbAddr, length: int, local: bool, hops: int, assume_cold: bool
     ) -> float:
-        p = self.params
         lines = max(1, -(-length // CACHE_LINE))
         if local:
-            miss_ns = p.local_read_ns(l1_hit=False)
+            miss_ns = self._local_read_ns
         else:
-            miss_ns = p.remote_read_ns(hops)
+            miss_ns = self.params.remote_read_ns(hops)
         if assume_cold or length > BULK_THRESHOLD_BYTES:
             return lines * miss_ns
         flat = self.device.mpb.flat(addr)
+        hit_ns = self._local_read_hit_ns
         cost = 0.0
         for line in range(flat // CACHE_LINE, (flat + max(length, 1) - 1) // CACHE_LINE + 1):
             tag = ("mpb", addr.device, line)
             if self.l1.lookup(tag):
-                cost += p.local_read_ns(l1_hit=True)
+                cost += hit_ns
             else:
                 cost += miss_ns
         return cost
@@ -210,12 +230,14 @@ class CoreEnv:
         lines = max(1, -(-length // CACHE_LINE))
         self.stats["mpb_bytes_written"] += length
         if self._is_local(addr):
-            yield Delay(lines * p.local_write_ns() * self.clock_scale)
+            yield lines * self._local_write_ns * self.clock_scale
             mem.write(addr, data)
         else:
-            hops = p.hops(self.core_id, addr.core)
-            self.device.router.account(self.tile, p.tile_of_core(addr.core), length)
-            yield Delay(lines * p.remote_write_ns(hops) * self.clock_scale)
+            hops = self._hops_to(addr.core)
+            self.device.router.account(
+                self.tile, addr.core // self._cores_per_tile, length
+            )
+            yield lines * p.remote_write_ns(hops) * self.clock_scale
             payload = bytes(data)
             arrival = self.sim.now + p.remote_write_arrival_ns(hops)
             self.sim.call_at(arrival, lambda: mem.write(addr, payload))
@@ -232,12 +254,14 @@ class CoreEnv:
         p = self.params
         mem = self.device.mpb
         if self._is_local(addr):
-            yield Delay(p.local_write_ns() * self.clock_scale)
+            yield self._local_write_ns * self.clock_scale
             mem.write_byte(addr, value)
         else:
-            hops = p.hops(self.core_id, addr.core)
-            self.device.router.account(self.tile, p.tile_of_core(addr.core), 1)
-            yield Delay(p.remote_write_ns(hops) * self.clock_scale)
+            hops = self._hops_to(addr.core)
+            self.device.router.account(
+                self.tile, addr.core // self._cores_per_tile, 1
+            )
+            yield p.remote_write_ns(hops) * self.clock_scale
             arrival = self.sim.now + p.remote_write_arrival_ns(hops)
             self.sim.call_at(arrival, lambda: mem.write_byte(addr, value))
 
@@ -246,13 +270,11 @@ class CoreEnv:
         if addr.device != self.device.device_id:
             data = yield from self._fabric().remote_read(self, addr, 1)
             return int(data[0])
-        p = self.params
         local = self._is_local(addr)
-        hops = 0 if local else p.hops(self.core_id, addr.core)
-        yield Delay(
-            (p.local_read_ns() if local else p.remote_read_ns(hops))
-            * self.clock_scale
-        )
+        if local:
+            yield self._local_read_ns * self.clock_scale
+        else:
+            yield self.params.remote_read_ns(self._hops_to(addr.core)) * self.clock_scale
         return self.device.mpb.read_byte(addr)
 
     def wait_flag(
@@ -282,15 +304,12 @@ class CoreEnv:
                 "wait_flag on a non-local flag — RCCE's protocol only polls "
                 f"local flags (core {self.core_id}, flag at {addr})"
             )
-        p = self.params
         mem = self.device.mpb
-        poll_ns = (
-            p.core_clock.cycles(p.flag_poll_cycles) + p.local_read_ns()
-        ) * self.clock_scale
+        poll_ns = self._poll_base_ns * self.clock_scale
         deadline = None if timeout_ns is None else self.sim.now + timeout_ns
         while True:
             self.stats["flag_polls"] += 1
-            yield Delay(poll_ns)
+            yield poll_ns
             if predicate(mem.read_byte(addr)):
                 return
             if deadline is not None and self.sim.now > deadline:
@@ -313,20 +332,17 @@ class CoreEnv:
         same way). Between polls the process parks until *any* watched
         byte is written.
         """
-        p = self.params
         mem = self.device.mpb
         for addr, _pred in specs:
             if addr.device != self.device.device_id or not self._is_local(addr):
                 raise SimulationError(
                     f"wait_any_flag on non-local flag {addr} (core {self.core_id})"
                 )
-        poll_ns = (
-            p.core_clock.cycles(p.flag_poll_cycles) + p.local_read_ns()
-        ) * self.clock_scale
+        poll_ns = self._poll_base_ns * self.clock_scale
         deadline = None if timeout_ns is None else self.sim.now + timeout_ns
         while True:
             self.stats["flag_polls"] += 1
-            yield Delay(poll_ns * len(specs))
+            yield poll_ns * len(specs)
             for index, (addr, pred) in enumerate(specs):
                 if pred(mem.read_byte(addr)):
                     return index
@@ -352,7 +368,7 @@ class CoreEnv:
         """Acquire the T&S register of ``target_core`` on this device."""
         tas = self.device.tas
         while True:
-            yield Delay(tas.access_ns(self.core_id, target_core))
+            yield tas.access_ns(self.core_id, target_core)
             if tas.try_acquire(target_core):
                 return
             if not spin:
@@ -361,7 +377,7 @@ class CoreEnv:
 
     def tas_release(self, target_core: int) -> Generator:
         tas = self.device.tas
-        yield Delay(tas.access_ns(self.core_id, target_core))
+        yield tas.access_ns(self.core_id, target_core)
         tas.release(target_core)
 
     # -- memory-mapped registers (host-provided functionality) -------------------------------------

@@ -25,9 +25,22 @@ from repro.sim.engine import Signal, Simulator
 
 from .params import CACHE_LINE, SCCParams
 
-__all__ = ["MpbAddr", "MPBMemory"]
+__all__ = ["MpbAddr", "MPBMemory", "as_u8"]
 
 Bytes = Union[bytes, bytearray, np.ndarray]
+
+
+def as_u8(data: Bytes) -> np.ndarray:
+    """View ``data`` as a uint8 array without copying.
+
+    bytes/bytearray/memoryview are wrapped via ``np.frombuffer`` (zero
+    copy); uint8 ndarrays pass through unchanged; other-dtype ndarrays
+    are value-cast with ``astype`` — the same semantics the stores used
+    before payloads became zero-copy.
+    """
+    if isinstance(data, np.ndarray):
+        return data if data.dtype == np.uint8 else data.astype(np.uint8)
+    return np.frombuffer(data, np.uint8)
 
 
 @dataclass(frozen=True, order=True)
@@ -54,7 +67,10 @@ class MPBMemory:
         self.sim = sim
         self.params = params
         self.device_id = device_id
-        self._store = np.zeros(params.num_cores * params.lmb_bytes_per_core, np.uint8)
+        # Geometry as plain ints: flat()/check_span() run on every access.
+        self._num_cores = params.num_cores
+        self._lmb = params.lmb_bytes_per_core
+        self._store = np.zeros(self._num_cores * self._lmb, np.uint8)
         # Watch signals keyed by flat byte address (flags are single bytes).
         self._watches: dict[int, Signal] = {}
         self.write_count = 0
@@ -63,22 +79,24 @@ class MPBMemory:
     # -- addressing -----------------------------------------------------------
 
     def flat(self, addr: MpbAddr) -> int:
-        p = self.params
         if addr.device != self.device_id:
             raise ValueError(
                 f"address {addr} targets device {addr.device}, "
                 f"this memory belongs to device {self.device_id}"
             )
-        p._check_core(addr.core)
-        if not 0 <= addr.offset < p.lmb_bytes_per_core:
-            raise ValueError(f"offset {addr.offset} outside the 8 kB LMB half")
-        return addr.core * p.lmb_bytes_per_core + addr.offset
+        core = addr.core
+        if not 0 <= core < self._num_cores:
+            self.params._check_core(core)
+        offset = addr.offset
+        if not 0 <= offset < self._lmb:
+            raise ValueError(f"offset {offset} outside the 8 kB LMB half")
+        return core * self._lmb + offset
 
     def check_span(self, addr: MpbAddr, length: int) -> int:
         """Validate that [addr, addr+length) stays inside one core's LMB."""
         if length < 0:
             raise ValueError(f"negative length {length}")
-        if addr.offset + length > self.params.lmb_bytes_per_core:
+        if addr.offset + length > self._lmb:
             raise ValueError(
                 f"span of {length} B at offset {addr.offset} crosses the "
                 "LMB boundary of core "
@@ -94,21 +112,55 @@ class MPBMemory:
         return self._store[base : base + length].copy()
 
     def write(self, addr: MpbAddr, data: Bytes) -> None:
-        buf = np.frombuffer(bytes(data), np.uint8) if not isinstance(data, np.ndarray) else data
-        base = self.check_span(addr, len(buf))
-        self._store[base : base + len(buf)] = buf.astype(np.uint8, copy=False)
+        if isinstance(data, np.ndarray):
+            buf = data
+            src = buf if buf.dtype == np.uint8 else buf.astype(np.uint8, copy=False)
+        else:
+            buf = src = np.frombuffer(data, np.uint8)
+        n = len(buf)
+        base = self.check_span(addr, n)
+        self._store[base : base + n] = src
         self.write_count += 1
-        if self._watches:
-            end = base + len(buf)
-            for flat_addr, signal in list(self._watches.items()):
-                if base <= flat_addr < end and signal.has_waiters:
+        self._pulse_span(base, base + n)
+
+    def _pulse_span(self, base: int, end: int) -> None:
+        """Pulse watch signals whose byte falls inside [base, end).
+
+        Narrow writes (the flag traffic that dominates) probe the watch
+        dict per touched byte; writes wider than the watch table fall
+        back to one scan over it. Either way only the touched signals are
+        considered — no per-write copy of the whole table.
+        """
+        watches = self._watches
+        if not watches:
+            return
+        if end - base <= len(watches):
+            get = watches.get
+            for flat_addr in range(base, end):
+                signal = get(flat_addr)
+                if signal is not None and signal.has_waiters:
                     signal.pulse()
+        else:
+            pending = [
+                signal
+                for flat_addr, signal in watches.items()
+                if base <= flat_addr < end and signal.has_waiters
+            ]
+            for signal in pending:
+                signal.pulse()
 
     def read_byte(self, addr: MpbAddr) -> int:
         return int(self._store[self.flat(addr)])
 
     def write_byte(self, addr: MpbAddr, value: int) -> None:
-        self.write(addr, bytes([value & 0xFF]))
+        # Single-byte writes are the flag hot path: skip array wrapping
+        # and span scans, touch exactly one store cell and one watch slot.
+        flat_addr = self.flat(addr)
+        self._store[flat_addr] = value & 0xFF
+        self.write_count += 1
+        signal = self._watches.get(flat_addr)
+        if signal is not None and signal.has_waiters:
+            signal.pulse()
 
     # -- watchpoints -------------------------------------------------------------
 

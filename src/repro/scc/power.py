@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from repro.sim.engine import Delay
 
 from .params import SCCParams
 
@@ -125,7 +124,7 @@ class PowerManager:
                 f"divider {divider} ({GLOBAL_CLOCK_MHZ / divider:.0f} MHz) needs "
                 f"{required} V but domain {domain} is at {self._voltages[domain]} V"
             )
-        yield Delay(FREQ_CHANGE_NS)
+        yield FREQ_CHANGE_NS
         self._dividers[tile] = divider
         self.freq_changes += 1
 
@@ -145,6 +144,6 @@ class PowerManager:
                     f"tile {tile} runs divider {self._dividers[tile]}, too fast "
                     f"for {volts} V — lower its frequency first"
                 )
-        yield Delay(VOLTAGE_RAMP_NS)
+        yield VOLTAGE_RAMP_NS
         self._voltages[domain] = volts
         self.voltage_ramps += 1

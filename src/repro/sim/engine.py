@@ -4,7 +4,9 @@ The whole vSCC reproduction runs on this kernel: every SCC core, every
 host communication-task thread and every DMA engine is a *process* — a
 Python generator that yields timing commands:
 
-* ``Delay(ns)``        — resume the process ``ns`` simulated nanoseconds later.
+* a bare ``float``/``int`` — resume the process that many simulated
+  nanoseconds later (the allocation-free hot path).
+* ``Delay(ns)``        — the same, as an explicit command object.
 * an :class:`Event`    — resume when the event is triggered; ``yield`` returns
   the event's value.
 * a :class:`Process`   — resume when that process terminates; ``yield``
@@ -12,15 +14,28 @@ Python generator that yields timing commands:
   process failed, the exception is re-raised in the waiter.
 
 Time is a float in **nanoseconds**; frequency-domain helpers live in
-:mod:`repro.sim.clock`. The kernel is deliberately small: a binary heap of
-``(time, seq, process, payload)`` entries and no global locking — the
-simulation is single-threaded and deterministic (ties are broken by
-spawn/schedule order).
+:mod:`repro.sim.clock`. The kernel is deliberately small and tuned for
+the event mix the reproduction actually generates (DESIGN.md §7):
+
+* delayed wake-ups go through a binary heap of ``(time, seq, process,
+  payload)`` entries;
+* zero-delay wake-ups (event triggers, signal pulses, spawns — roughly
+  half of all events in flag-heavy runs) go through a FIFO *fast lane*
+  (a deque) that skips the heap entirely. Because simulated time never
+  decreases, the fast lane is sorted by ``(time, seq)`` by construction,
+  and the dispatch loop merge-pops the two queues, preserving exactly
+  the global ``(time, seq)`` order of the heap-only kernel;
+* yield dispatch is type-keyed (one dict lookup on ``type(command)``)
+  instead of an isinstance chain.
+
+There is no global locking — the simulation is single-threaded and
+deterministic (ties are broken by spawn/schedule order).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -36,7 +51,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Delay:
-    """Yield command: advance this process by ``ns`` nanoseconds."""
+    """Yield command: advance this process by ``ns`` nanoseconds.
+
+    Hot paths can yield the bare number instead — the kernel treats a
+    ``float``/``int`` yield exactly like ``Delay(value)`` without
+    constructing this object.
+    """
 
     ns: float
 
@@ -147,6 +167,36 @@ class Signal:
             pass
 
 
+# Type-keyed yield dispatch: one dict lookup on type(command) replaces
+# the isinstance chain of the previous kernel. Subclasses of the command
+# types resolve through the isinstance fallback once, then hit the dict.
+_KIND_NUMBER = 0
+_KIND_DELAY = 1
+_KIND_EVENT = 2
+_KIND_SIGNAL = 3
+_KIND_PROCESS = 4
+
+_YIELD_KINDS: dict[type, int] = {}
+
+
+def _resolve_yield_kind(command: Any) -> int:
+    """Slow path: classify (and cache) a yield command's type."""
+    if isinstance(command, Delay):
+        kind = _KIND_DELAY
+    elif isinstance(command, (float, int)):
+        kind = _KIND_NUMBER
+    elif isinstance(command, Event):
+        kind = _KIND_EVENT
+    elif isinstance(command, Signal):
+        kind = _KIND_SIGNAL
+    elif isinstance(command, Process):
+        kind = _KIND_PROCESS
+    else:
+        return -1
+    _YIELD_KINDS[command.__class__] = kind
+    return kind
+
+
 class Process:
     """A running simulated activity wrapping a generator.
 
@@ -185,7 +235,7 @@ class Process:
         sim = self.sim
         self._waiting_on = None
         try:
-            if isinstance(payload, _Throw):
+            if payload.__class__ is _Throw:
                 command = self.gen.throw(payload.exc)
             else:
                 command = self.gen.send(payload)
@@ -203,13 +253,23 @@ class Process:
                 raise ProcessFailed(self.name, exc) from exc
             return
 
-        if isinstance(command, Delay):
+        kind = _YIELD_KINDS.get(command.__class__)
+        if kind is None:
+            kind = _resolve_yield_kind(command)
+        if kind == _KIND_NUMBER:
+            # Bare-number delay: the allocation-free fast path.
+            if command < 0:
+                raise InvalidYield(
+                    f"process {self.name!r} yielded a negative delay {command!r}"
+                )
+            sim._schedule(command, self, None)
+        elif kind == _KIND_DELAY:
             sim._schedule(command.ns, self, None)
-        elif isinstance(command, (Event, Signal)):
+        elif kind == _KIND_EVENT or kind == _KIND_SIGNAL:
             self._waiting_on = command
             if not command._add_waiter(self):
                 sim._schedule(0.0, self, command._value)
-        elif isinstance(command, Process):
+        elif kind == _KIND_PROCESS:
             self._waiting_on = command
             if not command.done._add_waiter(self):
                 sim._schedule(0.0, self, command.done._value)
@@ -232,6 +292,13 @@ class _Throw:
         self.exc = exc
 
 
+# Loop-exit reasons of Simulator._loop.
+_STOPPED = 0
+_DRAINED = 1
+_PAST_UNTIL = 2
+_MAX_EVENTS = 3
+
+
 class Simulator:
     """Deterministic single-threaded discrete-event simulator.
 
@@ -248,6 +315,9 @@ class Simulator:
         self.now: float = 0.0
         self.fail_fast = fail_fast
         self._queue: list[tuple[float, int, Process, Any]] = []
+        #: Zero-delay fast lane: appended in seq order at nondecreasing
+        #: times, hence always sorted by (time, seq) — see module doc.
+        self._fast: deque[tuple[float, int, Process, Any]] = deque()
         self._seq = 0
         self._live_processes: set[Process] = set()
         self._failures: list[Process] = []
@@ -289,18 +359,70 @@ class Simulator:
 
     def _schedule(self, delay: float, proc: Process, payload: Any) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, proc, payload))
+        if delay == 0.0:
+            self._fast.append((self.now, self._seq, proc, payload))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, proc, payload))
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run a plain callback at absolute simulated time ``when``."""
 
         def _runner() -> Generator:
-            yield Delay(max(0.0, when - self.now))
+            yield max(0.0, when - self.now)
             fn()
 
         self.spawn(_runner(), name="call_at")
 
     # -- main loop -----------------------------------------------------------
+
+    def _loop(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        stop: Optional[list],
+    ) -> int:
+        """The single inner event loop behind run() and run_until().
+
+        Merge-pops the zero-delay fast lane and the heap in global
+        ``(time, seq)`` order and dispatches until a boundary is hit:
+        ``stop[0]`` set by a callback, the next event lying past
+        ``until``, ``max_events`` dispatched, or both queues drained.
+        """
+        queue = self._queue
+        fast = self._fast
+        pop = heapq.heappop
+        events = 0
+        while True:
+            if stop is not None and stop[0]:
+                return _STOPPED
+            if fast:
+                if queue and queue[0] < fast[0]:
+                    entry = queue[0]
+                    from_heap = True
+                else:
+                    entry = fast[0]
+                    from_heap = False
+            elif queue:
+                entry = queue[0]
+                from_heap = True
+            else:
+                return _DRAINED
+            if until is not None and entry[0] > until:
+                return _PAST_UNTIL
+            if from_heap:
+                pop(queue)
+            else:
+                fast.popleft()
+            proc = entry[2]
+            if proc.done._triggered:
+                continue  # stale wake-up for an already-finished process
+            self.now = entry[0]
+            proc._step(entry[3])
+            self.events_processed += 1
+            if max_events is not None:
+                events += 1
+                if events >= max_events:
+                    return _MAX_EVENTS
 
     def run(
         self,
@@ -315,24 +437,14 @@ class Simulator:
         remain blocked (unless ``detect_deadlock`` is False — useful for
         systems with daemon processes parked on external queues).
         """
-        events = 0
-        while self._queue:
-            when, _seq, proc, payload = self._queue[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._queue)
-            if proc.finished:
-                continue  # stale wake-up for an already-finished process
-            self.now = when
-            proc._step(payload)
-            events += 1
-            self.events_processed += 1
-            if max_events is not None and events >= max_events:
-                return self.now
-        blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
-        if detect_deadlock and blocked:
-            raise DeadlockError(blocked)
+        reason = self._loop(until, max_events, None)
+        if reason == _PAST_UNTIL:
+            self.now = until
+            return self.now
+        if reason == _DRAINED:
+            blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
+            if detect_deadlock and blocked:
+                raise DeadlockError(blocked)
         return self.now
 
     def run_until(self, event: Event, limit: Optional[float] = None) -> Any:
@@ -342,21 +454,14 @@ class Simulator:
         """
         stop = [False]
         event.on_trigger(lambda _v: stop.__setitem__(0, True))
-        while not stop[0]:
-            if not self._queue:
-                blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
-                raise DeadlockError(blocked)
-            when = self._queue[0][0]
-            if limit is not None and when > limit:
-                raise SimulationError(
-                    f"run_until: time limit {limit} ns exceeded at t={self.now}"
-                )
-            _w, _s, proc, payload = heapq.heappop(self._queue)
-            if proc.finished:
-                continue
-            self.now = when
-            proc._step(payload)
-            self.events_processed += 1
+        reason = self._loop(limit, None, stop)
+        if reason == _DRAINED:
+            blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
+            raise DeadlockError(blocked)
+        if reason == _PAST_UNTIL:
+            raise SimulationError(
+                f"run_until: time limit {limit} ns exceeded at t={self.now}"
+            )
         return event.value
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
-from .engine import Delay, Event, Simulator
+from .engine import Event, Simulator
 
 __all__ = ["Link", "Mutex"]
 
@@ -84,7 +84,7 @@ class Link:
     def transfer(self, nbytes: int, extra_overhead_ns: float = 0.0) -> Generator:
         """Coroutine: move ``nbytes`` and resume once they have arrived."""
         arrival = self._occupy(nbytes, extra_overhead_ns)
-        yield Delay(arrival - self.sim.now)
+        yield arrival - self.sim.now
 
     # -- posted (pipelined) transfer ------------------------------------------
 

@@ -1,0 +1,57 @@
+"""Determinism regression: identical programs must replay bit-identically.
+
+The kernel's ordering contract — (time, seq) dispatch with seq assigned in
+schedule order, including the zero-delay fast lane — guarantees that two
+runs of the same program produce the same event count, the same final
+simulated time and the same metrics, bit for bit. A wall-clock
+optimization that breaks this is a correctness bug: BENCH_wallclock.json
+fingerprints and every figure in the paper reproduction depend on it.
+"""
+
+import numpy as np
+
+from repro.bench import fig6a_onchip
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+def _run_vdma_program():
+    """A multi-device program mixing vDMA bulk transfers and flag traffic."""
+    system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+    payload = (np.arange(6000) % 251).astype(np.uint8)
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(payload, 52)
+            got["back"] = yield from comm.recv(64, 52)
+        elif comm.rank == 52:
+            data = yield from comm.recv(6000, 0)
+            yield from comm.send(data[:64], 0)
+
+    system.launch(program, ranks=[0, 52])
+    assert (got["back"] == payload[:64]).all()
+    return {
+        "now": system.sim.now,
+        "events": system.sim.events_processed,
+        "metrics": system.metrics,
+    }
+
+
+def test_vdma_program_replays_identically():
+    first = _run_vdma_program()
+    second = _run_vdma_program()
+    assert first["now"] == second["now"]
+    assert first["events"] == second["events"]
+    assert first["metrics"] == second["metrics"]
+
+
+def test_fig6a_replays_identically():
+    kwargs = dict(sizes=(64, 1024, 8192), iterations=2)
+    first = fig6a_onchip(**kwargs)
+    second = fig6a_onchip(**kwargs)
+    assert first.keys() == second.keys()
+    for label in first:
+        points_a = [(p.size, p.oneway_ns) for p in first[label]]
+        points_b = [(p.size, p.oneway_ns) for p in second[label]]
+        assert points_a == points_b

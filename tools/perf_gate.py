@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Performance gate: compare a fresh bench run against the checked-in baseline.
+
+Runs ``benchmarks/bench_wallclock.py`` (or accepts a pre-measured run via
+``--fresh``) and compares every scenario against ``BENCH_wallclock.json``
+at the repo root:
+
+* **fingerprints** (``sim_now_ns``, ``events``, traffic totals, …) must
+  match the baseline exactly — a mismatch means the simulation produces
+  different *results*, which is a correctness failure, never acceptable;
+* **wall_s** may not exceed the baseline by more than the baseline's
+  ``tolerance`` (15 % by default) — a wall-clock regression.
+
+Exit status is non-zero on any failure unless ``--advisory`` is given
+(CI smoke mode: report, never block).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_gate.py                  # measure + gate
+    PYTHONPATH=src python tools/perf_gate.py --advisory       # report only
+    PYTHONPATH=src python tools/perf_gate.py --fresh run.json # gate a prior run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_wallclock.json"
+
+#: Keys that are measurements, not simulated-result fingerprints.
+_NON_FINGERPRINT_KEYS = {"wall_s", "before_wall_s", "speedup", "skipped"}
+
+
+def fingerprint_of(entry: dict) -> dict:
+    return {k: v for k, v in entry.items() if k not in _NON_FINGERPRINT_KEYS}
+
+
+def measure(repeat: int) -> dict:
+    """Run the wall-clock harness in a subprocess, return its document."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = Path(tmp.name)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_wallclock.py"),
+                "--repeat",
+                str(repeat),
+                "--out",
+                str(out_path),
+            ],
+            check=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        return json.loads(out_path.read_text())
+    finally:
+        out_path.unlink(missing_ok=True)
+
+
+def gate(baseline: dict, fresh: dict) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    tolerance = baseline.get("tolerance", 0.15)
+    base_scenarios = baseline.get("scenarios", {})
+    fresh_scenarios = fresh.get("scenarios", {})
+
+    print(f"{'scenario':26s} {'base_s':>9s} {'fresh_s':>9s} {'ratio':>7s}  status")
+    for name, base in sorted(base_scenarios.items()):
+        entry = fresh_scenarios.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from the fresh run")
+            print(f"{name:26s} {'-':>9s} {'-':>9s} {'-':>7s}  MISSING")
+            continue
+        if "skipped" in base or "skipped" in entry:
+            status = "skipped"
+            if ("skipped" in entry) != ("skipped" in base):
+                status = "SKIP-CHANGED"
+                failures.append(
+                    f"{name}: skip status changed "
+                    f"(base={base.get('skipped')!r}, fresh={entry.get('skipped')!r})"
+                )
+            print(f"{name:26s} {'-':>9s} {'-':>9s} {'-':>7s}  {status}")
+            continue
+        base_fp = fingerprint_of(base)
+        fresh_fp = fingerprint_of(entry)
+        base_wall = base["wall_s"]
+        wall = entry["wall_s"]
+        ratio = wall / base_wall
+        status = "ok"
+        if fresh_fp != base_fp:
+            status = "FINGERPRINT"
+            failures.append(
+                f"{name}: simulated-result fingerprint changed: "
+                f"{fresh_fp} != {base_fp}"
+            )
+        elif ratio > 1.0 + tolerance:
+            status = "SLOW"
+            failures.append(
+                f"{name}: wall-clock regression {ratio:.2f}x "
+                f"(limit {1.0 + tolerance:.2f}x: {wall:.4f}s vs {base_wall:.4f}s)"
+            )
+        print(f"{name:26s} {base_wall:9.4f} {wall:9.4f} {ratio:7.2f}  {status}")
+
+    for name in sorted(set(fresh_scenarios) - set(base_scenarios)):
+        print(f"{name:26s} {'-':>9s} {'-':>9s} {'-':>7s}  new (no baseline)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE, help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        help="gate this pre-measured run instead of running the harness",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report failures but always exit 0 (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"perf_gate: no baseline at {args.baseline}; nothing to gate")
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        fresh = measure(args.repeat)
+
+    failures = gate(baseline, fresh)
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        if args.advisory:
+            print("(advisory mode: exit 0)")
+            return 0
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
