@@ -109,7 +109,73 @@ def fig8_traffic() -> dict:
     }
 
 
+def faults_lossy_pingpong() -> dict:
+    """Cross-device ping-pong under a seeded lossy link plan.
+
+    The fingerprint includes the fault counters: the retry/backoff
+    machinery is seed-deterministic, so drops/retries/resets must be
+    bit-identical across repeats exactly like simulated time.
+    """
+    from repro.bench.figures import run_pingpong
+    from repro.faults import FaultPlan
+    from repro.vscc.schemes import CommScheme
+    from repro.vscc.system import VSCCSystem
+
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=FaultPlan.lossy(1e-3, seed=7),
+    )
+    points = run_pingpong(system, 0, 48, sizes=(256, 4096, 65536), iterations=3)
+    totals = system.fault_injector.totals()
+    return {
+        "sim_now_ns": system.sim.now,
+        "oneway_sum_ns": sum(p.oneway_ns for p in points),
+        "faults_sent": totals["faults.sent"],
+        "faults_retries": totals["faults.retries"],
+        "faults_dropped": totals["faults.dropped"],
+        "degraded": list(system.fault_injector.degraded_devices),
+    }
+
+
+def faults_dead_device() -> dict:
+    """A device dies mid-run; the reset path must finish the workload."""
+    from repro.bench.figures import run_pingpong
+    from repro.faults import DeviceFaults, FaultPlan
+    from repro.vscc.schemes import CommScheme
+    from repro.vscc.system import VSCCSystem
+
+    plan = FaultPlan(
+        seed=11,
+        devices={1: DeviceFaults(dead_at_ns=400_000.0)},
+        on_exhaust="reset",
+        retry_timeout_ns=10_000.0,
+        backoff_ns=5_000.0,
+    )
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=plan,
+    )
+    points = run_pingpong(system, 0, 48, sizes=(1024, 8192), iterations=2)
+    totals = system.fault_injector.totals()
+    return {
+        "sim_now_ns": system.sim.now,
+        "oneway_sum_ns": sum(p.oneway_ns for p in points),
+        "faults_resets": totals["faults.resets"],
+        "degraded": list(system.fault_injector.degraded_devices),
+    }
+
+
 # -- registry ------------------------------------------------------------------
+
+#: Chaos profile: run with ``--faults``. Kept out of the default set (and
+#: out of the checked-in baseline) — they exercise the fault-injection
+#: subsystem, whose fingerprints include retry/reset counters.
+FAULT_SCENARIOS = {
+    "faults_lossy_pingpong": faults_lossy_pingpong,
+    "faults_dead_device": faults_dead_device,
+}
 
 SCENARIOS = {
     "fig6a_pingpong": fig6a_pingpong,
@@ -121,6 +187,7 @@ SCENARIOS = {
     "micro_zero_delay": zero_delay_churn,
     "micro_watchpoint_pulse": watchpoint_pulse,
     "micro_router_account": router_account,
+    **FAULT_SCENARIOS,
 }
 
 
@@ -219,6 +286,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run only these scenarios (default: all)",
     )
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="include the chaos profile (fault-injection scenarios); these "
+        "are excluded from the default run and the checked-in baseline",
+    )
     parser.add_argument("--out", type=Path, help="write the fresh run as JSON")
     parser.add_argument(
         "--update-baseline",
@@ -228,7 +301,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    names = args.scenario or sorted(SCENARIOS)
+    if args.scenario:
+        names = args.scenario
+    elif args.faults:
+        names = sorted(SCENARIOS)
+    else:
+        names = sorted(set(SCENARIOS) - set(FAULT_SCENARIOS))
     results = run_scenarios(names, max(1, args.repeat))
 
     if args.update_baseline is not None:

@@ -1,0 +1,25 @@
+"""Deterministic fault injection + link resilience (``repro.faults``).
+
+Declare a seeded :class:`FaultPlan` (per-link drop/corrupt/duplicate
+probabilities, stalls, device hangs and deaths, plus the retry budget),
+hand it to :class:`repro.vscc.system.VSCCSystem` via ``fault_plan=``,
+and the host-path links gain a CRC/seq envelope with ack/timeout/retry
+and exponential backoff. Exhausted retry budgets quarantine the device
+(reset recovery or a severed cable), surfaced as
+``RunResult.degraded_devices``. An empty plan changes nothing — runs
+stay bit-identical to the fault-free kernel.
+"""
+
+from .errors import DeviceQuarantined, FaultConfigError
+from .injector import FaultInjector, LinkFaultState
+from .plan import DeviceFaults, FaultPlan, LinkFaults
+
+__all__ = [
+    "DeviceFaults",
+    "DeviceQuarantined",
+    "FaultConfigError",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaultState",
+    "LinkFaults",
+]

@@ -1,0 +1,186 @@
+"""Declarative, seed-driven fault plans for the inter-device path.
+
+A :class:`FaultPlan` describes *what can go wrong* on the host link —
+per-PCIe-link packet drop/corruption/duplication probabilities,
+transient link stalls, device hangs and deaths — plus the resilience
+budget that survives it: retry timeout, exponential backoff, the bounded
+retry count, and what exhausting it means (device reset vs. severing the
+cable). Everything is driven by one integer seed: the injector derives
+an independent deterministic RNG stream per link, so the same plan on
+the same program replays bit-identically.
+
+The plan is pure data; :class:`repro.faults.injector.FaultInjector`
+turns it into per-link fault state hooked into the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .errors import FaultConfigError
+
+__all__ = ["DeviceFaults", "FaultPlan", "LinkFaults"]
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultConfigError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-packet fault probabilities of one PCIe link direction."""
+
+    #: Packet lost on the wire (no arrival; sender times out and retries).
+    drop: float = 0.0
+    #: Packet arrives with a flipped bit; the CRC rejects it and the
+    #: sender retransmits after the timeout, exactly like a drop.
+    corrupt: float = 0.0
+    #: Packet is delivered twice; the sequence tracker discards the
+    #: second copy (it still occupies the wire).
+    duplicate: float = 0.0
+    #: Transient link stall (retraining pause) delaying the delivery.
+    stall: float = 0.0
+    #: Length of one stall (ns).
+    stall_ns: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "corrupt", "duplicate", "stall"):
+            _check_prob(name, getattr(self, name))
+        if self.drop + self.corrupt > 1.0:
+            raise FaultConfigError(
+                f"drop + corrupt must not exceed 1 (got {self.drop} + {self.corrupt})"
+            )
+        if self.stall_ns < 0:
+            raise FaultConfigError(f"stall_ns must be non-negative, got {self.stall_ns}")
+
+    @property
+    def is_null(self) -> bool:
+        """True when this spec can never fire a fault."""
+        return (self.drop + self.corrupt + self.duplicate + self.stall) == 0.0
+
+
+@dataclass(frozen=True)
+class DeviceFaults:
+    """Deterministic per-device fault schedule (hangs and deaths)."""
+
+    #: Start of a transient hang window: both directions of the device's
+    #: cable stall until ``hang_at_ns + hang_ns`` (link retraining).
+    hang_at_ns: Optional[float] = None
+    #: Duration of the hang window (ns).
+    hang_ns: float = 0.0
+    #: From this simulated time on the device answers nothing: every
+    #: packet on its cable is lost until the retry budget exhausts and
+    #: the quarantine path (reset or sever) takes over.
+    dead_at_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.hang_at_ns is not None and self.hang_at_ns < 0:
+            raise FaultConfigError(f"hang_at_ns must be non-negative, got {self.hang_at_ns}")
+        if self.hang_ns < 0:
+            raise FaultConfigError(f"hang_ns must be non-negative, got {self.hang_ns}")
+        if self.hang_at_ns is None and self.hang_ns:
+            raise FaultConfigError("hang_ns given without hang_at_ns")
+        if self.dead_at_ns is not None and self.dead_at_ns < 0:
+            raise FaultConfigError(f"dead_at_ns must be non-negative, got {self.dead_at_ns}")
+
+    @property
+    def hang_window(self) -> Optional[tuple[float, float]]:
+        if self.hang_at_ns is None or self.hang_ns <= 0:
+            return None
+        return (self.hang_at_ns, self.hang_at_ns + self.hang_ns)
+
+    @property
+    def is_null(self) -> bool:
+        return self.hang_window is None and self.dead_at_ns is None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded chaos scenario plus the resilience budget against it.
+
+    ``links`` overrides ``link_defaults`` per link name (``"pcie0.up"``,
+    ``"pcie3.down"``, …); links whose effective spec is null and whose
+    device has no schedule are left untouched — an empty plan therefore
+    changes *nothing*, bit for bit.
+    """
+
+    #: Root seed; each link derives an independent substream from it.
+    seed: int = 0
+    #: Fault spec applied to every PCIe link without an override.
+    link_defaults: LinkFaults = LinkFaults()
+    #: Per-link overrides keyed by link name (``pcie<id>.up|down``).
+    links: Mapping[str, LinkFaults] = field(default_factory=dict)
+    #: Per-device hang/death schedules keyed by device id.
+    devices: Mapping[int, DeviceFaults] = field(default_factory=dict)
+
+    # -- resilience budget ---------------------------------------------------
+    #: Retransmissions allowed per packet before the quarantine path.
+    max_retries: int = 8
+    #: Sender-side ack timeout before the first retransmission (ns).
+    retry_timeout_ns: float = 25_000.0
+    #: Base backoff added to the timeout; doubles per retry by default.
+    backoff_ns: float = 10_000.0
+    backoff_factor: float = 2.0
+    #: Backoff ceiling (ns).
+    backoff_max_ns: float = 400_000.0
+    #: What exhausting the retry budget means: ``"reset"`` quarantines
+    #: the device but recovers it (reset + link retrain, one final
+    #: guaranteed delivery — graceful degradation), ``"sever"`` takes
+    #: the cable down for good (in-flight and future packets are lost).
+    on_exhaust: str = "reset"
+    #: Device reset + link retrain cost charged on the recovery path (ns).
+    reset_ns: float = 2_000_000.0
+    #: Watchdog armed per vDMA copy while a fault plan is active (ns).
+    vdma_watchdog_ns: float = 50_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise FaultConfigError(f"seed must be non-negative, got {self.seed}")
+        if self.max_retries < 0:
+            raise FaultConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        for name in ("retry_timeout_ns", "backoff_ns", "backoff_max_ns", "reset_ns",
+                     "vdma_watchdog_ns"):
+            if getattr(self, name) < 0:
+                raise FaultConfigError(f"{name} must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise FaultConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.on_exhaust not in ("reset", "sever"):
+            raise FaultConfigError(
+                f"on_exhaust must be 'reset' or 'sever', got {self.on_exhaust!r}"
+            )
+
+    # -- queries -----------------------------------------------------------------
+
+    def for_link(self, name: str) -> LinkFaults:
+        """Effective spec of one link (override or the defaults)."""
+        return self.links.get(name, self.link_defaults)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when installing this plan cannot change any simulation."""
+        return (
+            self.link_defaults.is_null
+            and all(spec.is_null for spec in self.links.values())
+            and all(spec.is_null for spec in self.devices.values())
+        )
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Backoff before retransmission ``retry_index`` (1-based)."""
+        raw = self.backoff_ns * self.backoff_factor ** (retry_index - 1)
+        return min(self.backoff_max_ns, raw)
+
+    # -- convenience constructors -------------------------------------------------
+
+    @classmethod
+    def lossy(
+        cls, drop: float, link: Optional[str] = None, seed: int = 0, **kwargs
+    ) -> "FaultPlan":
+        """A plan that drops packets — on one named link or everywhere."""
+        spec = LinkFaults(drop=drop)
+        if link is None:
+            return cls(seed=seed, link_defaults=spec, **kwargs)
+        return cls(seed=seed, links={link: spec}, **kwargs)

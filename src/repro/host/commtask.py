@@ -102,6 +102,21 @@ class CommunicationTask:
     def cable(self):
         return self.host.cable_of(self.device_id)
 
+    def _check_route(self, target_device: int) -> None:
+        """Fail fast when quarantine has severed the path to the target.
+
+        In-flight packets on a severed cable are silently lost (their
+        waiters never resume); *new* requests raise ``DeviceQuarantined``
+        so callers can degrade gracefully instead of hanging.
+        """
+        injector = self.host.fault_injector
+        if injector is not None and injector.route_severed(
+            self.device_id, target_device
+        ):
+            from repro.faults.errors import DeviceQuarantined
+
+            raise DeviceQuarantined(self.device_id, target_device)
+
     def _line_rtt_ns(self, target_device: int, read: bool) -> float:
         """End-to-end round trip for one transparently routed line."""
         cached = self._rtt_cache.get((target_device, read))
@@ -144,6 +159,7 @@ class CommunicationTask:
         in-order core serializes them, so grouped charging is exact for a
         single reader while keeping event counts tractable.
         """
+        self._check_route(addr.device)
         target = self.host.device_of(addr.device)
         lines = max(1, -(-length // 32))
         rtt = self._line_rtt_ns(addr.device, read=True)
@@ -163,6 +179,7 @@ class CommunicationTask:
         self, env: "CoreEnv", addr: MpbAddr, data: np.ndarray
     ) -> Generator:
         """Blocking per-line routed write (end-to-end acknowledge)."""
+        self._check_route(addr.device)
         target = self.host.device_of(addr.device)
         length = len(data)
         lines = max(1, -(-length // 32))
@@ -192,6 +209,7 @@ class CommunicationTask:
         the MSG registers; delivery order versus a subsequent flag write
         is enforced by :meth:`fence`.
         """
+        self._check_route(addr.device)
         host = self.host
         cable = self.cable
         length = len(data)
@@ -253,6 +271,7 @@ class CommunicationTask:
         FPGA-acked burst per line, delivered posted through the host like
         a flag write. Low latency, no setup cost.
         """
+        self._check_route(addr.device)
         host = self.host
         cable = self.cable
         length = len(data)
@@ -337,6 +356,7 @@ class CommunicationTask:
         flag never overtakes its payload. Without extensions the write is
         routed transparently (full round-trip stall).
         """
+        self._check_route(addr.device)
         self.flag_forwards += 1
         host = self.host
         if not fast_ack:

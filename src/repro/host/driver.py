@@ -104,6 +104,9 @@ class Host:
         self.tasks = {d.device_id: CommunicationTask(self, d.device_id) for d in devices}
         self.regions = RegionRegistry()
         self.cache = HostMpbCache(self)
+        #: Set by :class:`repro.faults.FaultInjector` when a fault plan is
+        #: installed; ``None`` on a fault-free host.
+        self.fault_injector = None
         self.vdma = {d.device_id: VDMAController(self, d.device_id) for d in devices}
         for d in devices:
             d.fabric = HostFabric(self, d.device_id)

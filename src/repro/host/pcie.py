@@ -110,22 +110,21 @@ class PCIeCable:
         return self.down.bytes_carried
 
     def metrics_snapshot(self) -> dict[str, float]:
-        """Per-direction cable series: ``pcie.*{device=<id>,dir=up|down}``."""
+        """Per-direction cable series: ``pcie.*{device=<id>,dir=up|down}``.
+
+        Links carrying a fault model additionally contribute their
+        ``faults.*`` counters under the same device/dir labels.
+        """
 
         def rekey(snap: dict[str, float]) -> dict[str, float]:
             return {k.replace("link.", "pcie.", 1): v for k, v in snap.items()}
 
-        return merge_snapshots(
-            (
-                label_keys(
-                    rekey(self.up.metrics_snapshot()),
-                    device=self.device.device_id,
-                    dir="up",
-                ),
-                label_keys(
-                    rekey(self.down.metrics_snapshot()),
-                    device=self.device.device_id,
-                    dir="down",
-                ),
+        parts = []
+        for link, direction in ((self.up, "up"), (self.down, "down")):
+            snap = rekey(link.metrics_snapshot())
+            if link.faults is not None:
+                snap.update(link.faults.metrics_snapshot())
+            parts.append(
+                label_keys(snap, device=self.device.device_id, dir=direction)
             )
-        )
+        return merge_snapshots(parts)

@@ -62,6 +62,9 @@ class VDMAController:
         self.copies_started = 0
         self.copies_completed = 0
         self.bytes_copied = 0
+        #: Copies that outlived the fault plan's watchdog without
+        #: completing (armed only while a fault injector is installed).
+        self.watchdog_fires = 0
         bank = host.task_of(device_id).mmio
         bank.on_write(REG_VDMA_CTRL, self._on_ctrl)
         from repro.obs.metrics import registry_for
@@ -79,6 +82,7 @@ class VDMAController:
             f"vdma.inflight{{device={d}}}": float(
                 self.copies_started - self.copies_completed
             ),
+            f"vdma.watchdog_fires{{device={d}}}": float(self.watchdog_fires),
         }
 
     def _on_ctrl(self, core_id: int, ctrl_value: object) -> None:
@@ -142,6 +146,27 @@ class VDMAController:
         remaining = [len(sizes)]
         all_committed = sim.event(name="vdma.done")
 
+        # Under a fault plan each copy is covered by a watchdog: a stuck
+        # copy (e.g. a granule black-holed by a severed cable) is flagged
+        # in the metrics/trace instead of disappearing silently.
+        injector = host.fault_injector
+        watchdog = None
+        if injector is not None:
+
+            def _watchdog_fired() -> None:
+                self.watchdog_fires += 1
+                if tracer.wants("faults"):
+                    tracer.emit(
+                        sim.now, "faults", self.device_id,
+                        "vdma_watchdog", copy_id, count,
+                    )
+
+            watchdog = sim.after(
+                injector.plan.vdma_watchdog_ns,
+                _watchdog_fired,
+                name=f"vdma.watchdog.d{self.device_id}",
+            )
+
         def commit(index: int, off: int, chunk) -> None:
             dst_dev.mpb.write(cmd.dst + off, chunk)
             if cmd.progress_flag is not None:
@@ -187,6 +212,8 @@ class VDMAController:
             extra_overhead_ns=host.params.service_ns,
         )
         yield done
+        if watchdog is not None:
+            watchdog.cancel()
         self.copies_completed += 1
         self._depth_gauge.add(-1.0)
         if tracer.wants("vdma"):

@@ -46,6 +46,7 @@ __all__ = [
     "Event",
     "Process",
     "Simulator",
+    "TimerHandle",
 ]
 
 
@@ -292,6 +293,43 @@ class _Throw:
         self.exc = exc
 
 
+class TimerHandle:
+    """A cancellable one-shot timeout from :meth:`Simulator.after`.
+
+    Cancellation reuses the kernel's stale-wakeup check: triggering the
+    timer process's ``done`` event makes the dispatch loop skip its
+    pending queue entry, so a cancelled timer costs no callback run and
+    never advances simulated time. Cancelling after the timer fired (or
+    twice) is a no-op that returns False — the usual watchdog idiom
+    ``timer.cancel()`` on the success path needs no guard.
+    """
+
+    __slots__ = ("_proc", "fired")
+
+    def __init__(self, proc: Process):
+        self._proc = proc
+        #: True once the callback has run.
+        self.fired = False
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not fired, not cancelled)."""
+        return not self._proc.done.triggered
+
+    @property
+    def cancelled(self) -> bool:
+        return self._proc.done.triggered and not self.fired
+
+    def cancel(self) -> bool:
+        """Disarm the timer; True if it was still pending."""
+        proc = self._proc
+        if self.fired or proc.done._triggered:
+            return False
+        proc.done.trigger(None)
+        proc.sim._live_processes.discard(proc)
+        return True
+
+
 # Loop-exit reasons of Simulator._loop.
 _STOPPED = 0
 _DRAINED = 1
@@ -372,6 +410,29 @@ class Simulator:
             fn()
 
         self.spawn(_runner(), name="call_at")
+
+    def after(
+        self, delay_ns: float, fn: Callable[[], None], name: str = "timer"
+    ) -> TimerHandle:
+        """Arm a cancellable timeout: run ``fn()`` in ``delay_ns`` ns.
+
+        Returns a :class:`TimerHandle`; ``handle.cancel()`` before expiry
+        disarms it without running the callback. This is the watchdog
+        primitive of the fault/resilience layer (retry timeouts, stalled
+        vDMA copies). The timer process is a daemon — an armed timer
+        never counts as a deadlocked process.
+        """
+        if delay_ns < 0:
+            raise ValueError(f"negative timer delay: {delay_ns}")
+
+        def _runner() -> Generator:
+            yield delay_ns
+            handle.fired = True
+            fn()
+
+        proc = self.spawn(_runner(), name=f"daemon:{name}")
+        handle = TimerHandle(proc)
+        return handle
 
     # -- main loop -----------------------------------------------------------
 

@@ -59,6 +59,11 @@ class Link:
         #: link spent occupied, in ns — the busy-time numerator of its
         #: utilization.
         self.busy_ns = 0.0
+        #: Optional link-layer fault/retransmit model
+        #: (:class:`repro.faults.injector.LinkFaultState`). ``None`` —
+        #: the default — keeps every code path below byte-identical to
+        #: the fault-free kernel.
+        self.faults = None
 
     # -- timing core ---------------------------------------------------------
 
@@ -83,6 +88,9 @@ class Link:
 
     def transfer(self, nbytes: int, extra_overhead_ns: float = 0.0) -> Generator:
         """Coroutine: move ``nbytes`` and resume once they have arrived."""
+        if self.faults is not None:
+            yield self.faults.post(nbytes, None, None, extra_overhead_ns)
+            return
         arrival = self._occupy(nbytes, extra_overhead_ns)
         yield arrival - self.sim.now
 
@@ -99,8 +107,22 @@ class Link:
 
         ``on_arrival`` (if given) runs at arrival time before the event
         triggers — typically the far end's "data visible now" commit.
+        With a fault model installed the transfer additionally rides the
+        link-layer CRC/seq + ack/retransmit machinery — a severed route
+        returns an event that never triggers.
         """
+        if self.faults is not None:
+            return self.faults.post(nbytes, on_arrival, payload, extra_overhead_ns)
         arrival = self._occupy(nbytes, extra_overhead_ns)
+        return self._deliver_at(arrival, on_arrival, payload)
+
+    def _deliver_at(
+        self,
+        arrival: float,
+        on_arrival: Optional[Callable[[], None]],
+        payload: Any,
+    ) -> Event:
+        """Schedule the arrival-side commit + completion event."""
         done = self.sim.event(name=f"{self.name}.arrive")
 
         def _deliver() -> None:

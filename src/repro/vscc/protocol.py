@@ -12,6 +12,9 @@ independent "sent"/"ready" streams per directed pair, with bounded-lead
 
 from __future__ import annotations
 
+import struct
+import zlib
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
@@ -30,11 +33,93 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.rcce.api import Rcce, RcceOptions
 
 __all__ = [
+    "HostPacket",
+    "ProtocolViolation",
     "RemotePutTransport",
+    "SequenceTracker",
     "VdmaTransport",
     "DirectSmallTransport",
     "VsccSelector",
 ]
+
+
+# -- host-path packet envelope (CRC + sequence numbers) -------------------------
+#
+# The happy-path model trusts the PCIe cable: every posted packet
+# arrives, once, in order. The fault/resilience layer (repro.faults)
+# drops that assumption, so host-path messages gain a link-layer
+# envelope: a sequence number (exactly-once, in-order delivery per
+# directed link) and a CRC32 over the header (corruption detection →
+# retransmit instead of silent data damage). The envelope is what the
+# Distributed Network Processor implements in hardware as its ack/
+# retransmit link layer; we carry it per simulated packet.
+
+#: Wire layout of the envelope: seq (mod 2^32), nbytes, crc32(header).
+PACKET_HEADER = struct.Struct("<III")
+
+
+class ProtocolViolation(Exception):
+    """The CRC/seq link layer observed an impossible packet stream.
+
+    Raised on a sequence *gap* — a packet delivered although a
+    predecessor was neither delivered nor retransmitted. Under the
+    bounded-retry protocol this can only mean a bug in the fault model
+    or the retransmit logic, never ordinary loss (loss is retried, and a
+    severed route delivers nothing at all)."""
+
+
+@dataclass(frozen=True)
+class HostPacket:
+    """One host-path message envelope: sequence number + payload size."""
+
+    seq: int
+    nbytes: int
+
+    def encode(self) -> bytes:
+        """Wire header: little-endian seq/nbytes plus CRC32 over them."""
+        body = struct.pack("<II", self.seq & 0xFFFFFFFF, self.nbytes & 0xFFFFFFFF)
+        return body + struct.pack("<I", zlib.crc32(body))
+
+    @staticmethod
+    def decode(raw: bytes) -> Optional["HostPacket"]:
+        """Parse + verify a wire header; None if the CRC rejects it."""
+        if len(raw) != PACKET_HEADER.size:
+            return None
+        seq, nbytes, crc = PACKET_HEADER.unpack(raw)
+        if zlib.crc32(raw[:8]) != crc:
+            return None
+        return HostPacket(seq, nbytes)
+
+
+class SequenceTracker:
+    """Receiver-side exactly-once in-order filter for one directed link.
+
+    ``accept(seq)`` is called at every (non-corrupt) packet arrival:
+    the expected sequence number is delivered and advances the window,
+    an older one is a wire duplicate and is discarded, a newer one is a
+    protocol violation (see :class:`ProtocolViolation`).
+    """
+
+    __slots__ = ("expected", "delivered", "duplicates")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.delivered = 0
+        self.duplicates = 0
+
+    def accept(self, seq: int) -> bool:
+        """True exactly once per sequence number, in order."""
+        if seq == self.expected:
+            self.expected += 1
+            self.delivered += 1
+            return True
+        if seq < self.expected:
+            self.duplicates += 1
+            return False
+        raise ProtocolViolation(
+            f"sequence gap: packet {seq} arrived while {self.expected} "
+            "is still outstanding"
+        )
 
 
 def _granule_sizes(total: int, granule: int) -> list[int]:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Generator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -47,10 +47,13 @@ from .protocol import VsccSelector
 from .schemes import CommScheme
 from .topology import VsccTopology
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector, FaultPlan
+
 __all__ = ["RunResult", "VSCCSystem"]
 
 #: Trace categories recorded when ``run(trace_json=...)`` is used.
-TRACE_CATEGORIES = ("protocol", "vdma")
+TRACE_CATEGORIES = ("protocol", "vdma", "faults")
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,10 @@ class RunResult:
     metrics: dict[str, float] = field(default_factory=dict)
     #: Where the Chrome trace was written, if requested.
     trace_path: Optional[Path] = None
+    #: Devices quarantined during this system's lifetime (retry budget
+    #: exhausted under a fault plan), sorted. Empty on fault-free runs —
+    #: and on faulty runs the resilience layer fully absorbed.
+    degraded_devices: tuple[int, ...] = ()
 
     def __getitem__(self, rank: int) -> Any:
         return self.results[rank]
@@ -95,6 +102,7 @@ class VSCCSystem:
         direct_threshold: Optional[int] = None,
         announce_prefetch: bool = True,
         vdma_fused_mmio: bool = True,
+        fault_plan: Optional["FaultPlan"] = None,
     ):
         if num_devices < 1:
             raise ValueError("need at least one device")
@@ -139,6 +147,18 @@ class VSCCSystem:
         #: The simulator-scoped metrics registry (disabled by default so
         #: the hot path stays allocation-free; see :mod:`repro.obs`).
         self.obs: MetricsRegistry = registry_for(self.sim)
+        #: Fault-injection subsystem (:mod:`repro.faults`). Only a
+        #: non-empty plan installs anything — an empty (or absent) plan
+        #: leaves every link untouched, keeping the simulation
+        #: bit-identical to the fault-free kernel.
+        self.fault_plan = fault_plan
+        self.fault_injector: Optional["FaultInjector"] = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                fault_plan, self.host, tracer=self.tracer
+            )
 
     # -- communicators ---------------------------------------------------------
 
@@ -208,12 +228,14 @@ class VSCCSystem:
             if extra_categories:
                 self.tracer.disable(*extra_categories)
         elapsed_ns = self.sim.now - start_ns
+        injector = self.fault_injector
         return RunResult(
             results={rank: proc.result for rank, proc in procs.items()},
             elapsed_ns=elapsed_ns,
             core_cycles=self.params.core_clock.to_cycles(elapsed_ns),
             metrics=self.metrics,
             trace_path=trace_path,
+            degraded_devices=() if injector is None else injector.degraded_devices,
         )
 
     def launch(
@@ -243,6 +265,8 @@ class VSCCSystem:
         parts.extend(device.metrics_snapshot() for device in self.devices)
         parts.append(self.host.metrics_snapshot())
         parts.append(self.selector.metrics_snapshot())
+        if self.fault_injector is not None:
+            parts.append(self.fault_injector.metrics_snapshot())
         parts.append(self.obs.snapshot())
         return merge_snapshots(parts)
 

@@ -1,0 +1,210 @@
+"""LinkFaultState / FaultInjector unit behaviour on bare links."""
+
+import pytest
+
+from repro.faults import DeviceFaults, FaultPlan, LinkFaults
+from repro.faults.injector import LinkFaultState
+from repro.sim.engine import Simulator
+from repro.sim.errors import DeadlockError
+from repro.sim.resources import Link
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+def _faulty_link(sim, **plan_kwargs):
+    """A bare link with a fault state installed from a one-off plan."""
+    link = Link(sim, "pcie0.up", latency_ns=10.0, bandwidth_bpns=1.0)
+    plan = FaultPlan(**plan_kwargs)
+    state = LinkFaultState(link, plan.for_link(link.name), plan, device_id=0)
+    link.faults = state
+    return link, state
+
+
+def _post_and_wait(sim, link, payloads):
+    """Post each payload, block on its arrival, collect the results."""
+    got = []
+
+    def proc():
+        for payload in payloads:
+            value = yield link.post(100, payload=payload)
+            got.append(value)
+
+    sim.spawn(proc())
+    sim.run()
+    return got
+
+
+def test_clean_spec_is_transparent(sim):
+    """A never-firing spec delivers with clean-link timing and counters."""
+    link, state = _faulty_link(sim, link_defaults=LinkFaults())
+    got = _post_and_wait(sim, link, ["a"])
+    assert got == ["a"]
+    # serialization 100/1.0 + latency 10
+    assert sim.now == 110.0
+    assert (state.sent, state.delivered, state.retries) == (1, 1, 0)
+    assert link.transfers == 1 and link.bytes_carried == 100
+
+
+def test_certain_drop_exhausts_into_reset(sim):
+    plan_kw = dict(
+        link_defaults=LinkFaults(drop=1.0),
+        max_retries=2,
+        retry_timeout_ns=100.0,
+        backoff_ns=50.0,
+        reset_ns=1000.0,
+        on_exhaust="reset",
+    )
+    link, state = _faulty_link(sim, **plan_kw)
+    got = _post_and_wait(sim, link, ["x", "y"])
+    # Both packets arrive: the first through the reset path, the second on
+    # the clean (disabled) link afterwards.
+    assert got == ["x", "y"]
+    assert state.disabled
+    assert state.resets == 1
+    assert state.retries == 2          # budget fully used once
+    assert state.dropped == 3          # initial attempt + 2 retransmissions
+    assert state.sent == 1             # second packet rode the clean path
+    assert state.delivered == 1
+    # 3 failed + 1 reset-delivery wire packets for the first message.
+    assert link.transfers == 3 + 1 + 1
+
+
+def test_certain_corruption_is_rejected_by_real_crc(sim):
+    link, state = _faulty_link(
+        sim,
+        link_defaults=LinkFaults(corrupt=1.0),
+        max_retries=1,
+        on_exhaust="reset",
+    )
+    got = _post_and_wait(sim, link, ["p"])
+    assert got == ["p"]
+    assert state.crc_rejects == 2      # initial + one retransmission
+    assert state.dropped == 0
+    assert state.resets == 1
+
+
+def test_sever_blackholes_and_deadlocks_waiters(sim):
+    link, state = _faulty_link(
+        sim,
+        link_defaults=LinkFaults(drop=1.0),
+        max_retries=1,
+        on_exhaust="sever",
+    )
+    def proc():
+        yield link.post(100, payload="gone")
+
+    sim.spawn(proc())
+    with pytest.raises(DeadlockError):
+        sim.run()
+    assert state.severed
+    assert state.severs == 1
+    assert state.lost == 1
+    assert state.delivered == 0
+
+
+def test_duplicates_are_delivered_once(sim):
+    link, state = _faulty_link(sim, link_defaults=LinkFaults(duplicate=1.0))
+    got = _post_and_wait(sim, link, ["a", "b", "c"])
+    assert got == ["a", "b", "c"]
+    assert state.duplicates == 3
+    assert state.delivered == 3        # logical deliveries, dedup applied
+    assert state.rx.duplicates == 3    # the tracker saw and dropped 3 copies
+    assert link.transfers == 6         # every copy occupied the wire
+
+
+def test_stall_delays_without_loss(sim):
+    link, state = _faulty_link(
+        sim, link_defaults=LinkFaults(stall=1.0, stall_ns=40.0)
+    )
+    got = _post_and_wait(sim, link, ["s"])
+    assert got == ["s"]
+    assert state.stalls == 1
+    assert sim.now == 150.0            # 100 serialization + 40 stall + 10 latency
+    assert state.retries == 0
+
+
+def test_device_hang_window_defers_transmission(sim):
+    link = Link(sim, "pcie0.up", latency_ns=10.0, bandwidth_bpns=1.0)
+    plan = FaultPlan(devices={0: DeviceFaults(hang_at_ns=0.0, hang_ns=500.0)})
+    state = LinkFaultState(
+        link, plan.for_link(link.name), plan,
+        device_id=0, device_spec=plan.devices[0],
+    )
+    link.faults = state
+    got = _post_and_wait(sim, link, ["h"])
+    assert got == ["h"]
+    assert state.stalls == 1
+    assert sim.now == 610.0            # 500 hang + 100 serialization + 10 latency
+
+
+def test_lossy_stream_preserves_order_exactly_once(sim):
+    link, state = _faulty_link(
+        sim,
+        seed=13,
+        link_defaults=LinkFaults(drop=0.3),
+        max_retries=8,
+        on_exhaust="reset",
+    )
+    payloads = list(range(40))
+    got = _post_and_wait(sim, link, payloads)
+    assert got == payloads             # in order, exactly once
+    assert state.retries > 0           # drop=0.3 over 40 packets must fire
+    assert state.delivered == 40
+    assert state.dropped == state.retries + state.resets
+
+
+def test_same_seed_replays_identically():
+    def run():
+        sim = Simulator()
+        link, state = _faulty_link(
+            sim, seed=99, link_defaults=LinkFaults(drop=0.2, duplicate=0.1)
+        )
+        _post_and_wait(sim, link, list(range(30)))
+        return sim.now, state.metrics_snapshot()
+
+    assert run() == run()
+
+
+# -- FaultInjector wiring ------------------------------------------------------
+
+
+def test_empty_plan_installs_nothing():
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=FaultPlan(),
+    )
+    assert system.fault_injector is None
+    for cable in system.host.cables.values():
+        assert cable.up.faults is None
+        assert cable.down.faults is None
+
+
+def test_targeted_plan_installs_only_named_links():
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=FaultPlan.lossy(0.01, link="pcie1.down"),
+    )
+    injector = system.fault_injector
+    assert injector is not None
+    assert set(injector.states) == {"pcie1.down"}
+    assert system.host.cables[1].down.faults is injector.states["pcie1.down"]
+    assert system.host.cables[1].up.faults is None
+    assert system.host.cables[0].up.faults is None
+    assert system.host.fault_injector is injector
+
+
+def test_global_plan_covers_every_cable_direction():
+    system = VSCCSystem(
+        num_devices=3,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=FaultPlan.lossy(0.01),
+    )
+    assert set(system.fault_injector.states) == {
+        f"pcie{d}.{direction}" for d in range(3) for direction in ("up", "down")
+    }
+    # Fault counters surface through the cable snapshots with labels.
+    metrics = system.metrics
+    assert "faults.sent{device=0,dir=up}" in metrics
+    assert metrics["faults.devices_degraded"] == 0.0

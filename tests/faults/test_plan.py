@@ -1,0 +1,126 @@
+"""FaultPlan / LinkFaults / DeviceFaults: validation and queries."""
+
+import pytest
+
+from repro.faults import DeviceFaults, FaultConfigError, FaultPlan, LinkFaults
+
+
+# -- LinkFaults ----------------------------------------------------------------
+
+
+def test_link_faults_defaults_are_null():
+    assert LinkFaults().is_null
+    assert not LinkFaults(drop=0.1).is_null
+    assert not LinkFaults(duplicate=0.1).is_null
+    assert not LinkFaults(stall=0.1).is_null
+
+
+@pytest.mark.parametrize("field", ["drop", "corrupt", "duplicate", "stall"])
+@pytest.mark.parametrize("value", [-0.1, 1.5])
+def test_link_faults_rejects_bad_probability(field, value):
+    with pytest.raises(FaultConfigError):
+        LinkFaults(**{field: value})
+
+
+def test_link_faults_rejects_drop_plus_corrupt_over_one():
+    with pytest.raises(FaultConfigError):
+        LinkFaults(drop=0.7, corrupt=0.7)
+
+
+def test_link_faults_rejects_negative_stall_ns():
+    with pytest.raises(FaultConfigError):
+        LinkFaults(stall=0.1, stall_ns=-1.0)
+
+
+# -- DeviceFaults --------------------------------------------------------------
+
+
+def test_device_faults_hang_window():
+    spec = DeviceFaults(hang_at_ns=100.0, hang_ns=50.0)
+    assert spec.hang_window == (100.0, 150.0)
+    assert not spec.is_null
+    assert DeviceFaults().is_null
+    assert DeviceFaults().hang_window is None
+
+
+def test_device_faults_rejects_hang_without_start():
+    with pytest.raises(FaultConfigError):
+        DeviceFaults(hang_ns=50.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"hang_at_ns": -1.0},
+        {"hang_at_ns": 0.0, "hang_ns": -1.0},
+        {"dead_at_ns": -5.0},
+    ],
+)
+def test_device_faults_rejects_negative_times(kwargs):
+    with pytest.raises(FaultConfigError):
+        DeviceFaults(**kwargs)
+
+
+# -- FaultPlan -----------------------------------------------------------------
+
+
+def test_plan_defaults_are_empty():
+    plan = FaultPlan()
+    assert plan.is_empty
+    assert plan.for_link("pcie0.up") is plan.link_defaults
+
+
+def test_plan_with_any_fault_is_not_empty():
+    assert not FaultPlan(link_defaults=LinkFaults(drop=0.1)).is_empty
+    assert not FaultPlan(links={"pcie0.up": LinkFaults(corrupt=0.1)}).is_empty
+    assert not FaultPlan(devices={0: DeviceFaults(dead_at_ns=1.0)}).is_empty
+    # Null overrides keep the plan empty.
+    assert FaultPlan(links={"pcie0.up": LinkFaults()}).is_empty
+    assert FaultPlan(devices={0: DeviceFaults()}).is_empty
+
+
+def test_plan_for_link_override():
+    spec = LinkFaults(drop=0.25)
+    plan = FaultPlan(links={"pcie1.down": spec})
+    assert plan.for_link("pcie1.down") is spec
+    assert plan.for_link("pcie1.up") is plan.link_defaults
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"seed": -1},
+        {"max_retries": -1},
+        {"retry_timeout_ns": -1.0},
+        {"backoff_ns": -1.0},
+        {"backoff_factor": 0.5},
+        {"backoff_max_ns": -1.0},
+        {"on_exhaust": "explode"},
+        {"reset_ns": -1.0},
+        {"vdma_watchdog_ns": -1.0},
+    ],
+)
+def test_plan_rejects_bad_budget(kwargs):
+    with pytest.raises(FaultConfigError):
+        FaultPlan(**kwargs)
+
+
+def test_backoff_is_exponential_and_capped():
+    plan = FaultPlan(backoff_ns=10.0, backoff_factor=2.0, backoff_max_ns=55.0)
+    assert plan.backoff_for(1) == 10.0
+    assert plan.backoff_for(2) == 20.0
+    assert plan.backoff_for(3) == 40.0
+    assert plan.backoff_for(4) == 55.0  # capped, not 80
+    assert plan.backoff_for(10) == 55.0
+
+
+def test_lossy_constructor():
+    everywhere = FaultPlan.lossy(0.01, seed=3)
+    assert everywhere.seed == 3
+    assert everywhere.link_defaults.drop == 0.01
+    assert not everywhere.is_empty
+
+    one = FaultPlan.lossy(0.02, link="pcie0.down")
+    assert one.link_defaults.is_null
+    assert one.for_link("pcie0.down").drop == 0.02
+    assert one.for_link("pcie0.up").is_null

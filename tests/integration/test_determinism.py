@@ -46,6 +46,59 @@ def test_vdma_program_replays_identically():
     assert first["metrics"] == second["metrics"]
 
 
+def _run_faulty_program():
+    """The vDMA program under a seeded chaos plan (drops + corruption)."""
+    from repro.faults import FaultPlan, LinkFaults
+
+    plan = FaultPlan(
+        seed=8,  # empirically: fires retries, CRC rejects AND duplicates here
+        link_defaults=LinkFaults(drop=0.02, corrupt=0.01, duplicate=0.02),
+        retry_timeout_ns=5_000.0,
+        backoff_ns=2_000.0,
+    )
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=plan,
+    )
+    payload = (np.arange(6000) % 251).astype(np.uint8)
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(payload, 52)
+            got["back"] = yield from comm.recv(64, 52)
+        elif comm.rank == 52:
+            data = yield from comm.recv(6000, 0)
+            yield from comm.send(data[:64], 0)
+
+    result = system.run(program, ranks=[0, 52])
+    assert (got["back"] == payload[:64]).all()
+    totals = system.fault_injector.totals()
+    assert totals["faults.retries"] > 0  # the plan actually fired
+    return {
+        "now": system.sim.now,
+        "events": system.sim.events_processed,
+        "metrics": result.metrics,
+        "degraded": result.degraded_devices,
+    }
+
+
+def test_faulty_program_replays_identically():
+    """Same seed + same FaultPlan → bit-identical RunResult metrics.
+
+    The fault sequence (which packets drop, when retries fire, the
+    backoff timings) must be a pure function of the plan seed — any
+    hidden global-RNG or dict-ordering dependence breaks this.
+    """
+    first = _run_faulty_program()
+    second = _run_faulty_program()
+    assert first["now"] == second["now"]
+    assert first["events"] == second["events"]
+    assert first["metrics"] == second["metrics"]
+    assert first["degraded"] == second["degraded"]
+
+
 def test_fig6a_replays_identically():
     kwargs = dict(sizes=(64, 1024, 8192), iterations=2)
     first = fig6a_onchip(**kwargs)

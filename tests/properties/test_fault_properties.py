@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) on the fault-injection subsystem.
+
+Two universally quantified claims:
+
+1. **liveness** — a random fault plan with ``on_exhaust="reset"`` never
+   deadlocks a cross-device exchange, the payload survives intact, and
+   the retry-counter algebra balances (``DeadlockError`` is reserved for
+   severed routes);
+2. **exactly-once, in-order** — under arbitrary drop/corrupt/duplicate
+   probabilities the CRC+sequence link layer delivers every posted
+   payload exactly once, in per-link FIFO order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, LinkFaults
+from repro.faults.injector import LinkFaultState
+from repro.sim.engine import Simulator
+from repro.sim.resources import Link
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+@st.composite
+def link_fault_specs(draw):
+    drop = draw(st.floats(0.0, 0.3))
+    corrupt = draw(st.floats(0.0, 0.3))
+    return LinkFaults(
+        drop=drop,
+        corrupt=corrupt,
+        duplicate=draw(st.floats(0.0, 0.3)),
+        stall=draw(st.floats(0.0, 0.2)),
+        stall_ns=draw(st.floats(0.0, 100_000.0)),
+    )
+
+
+@st.composite
+def reset_plans(draw):
+    """Random chaos plan whose exhaust path always recovers (reset)."""
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**31)),
+        link_defaults=draw(link_fault_specs()),
+        max_retries=draw(st.integers(1, 6)),
+        retry_timeout_ns=draw(st.floats(1_000.0, 50_000.0)),
+        backoff_ns=draw(st.floats(0.0, 20_000.0)),
+        backoff_factor=draw(st.floats(1.0, 3.0)),
+        on_exhaust="reset",
+    )
+
+
+@given(reset_plans(), st.integers(64, 4096))
+@settings(max_examples=12, deadline=None)
+def test_random_reset_plans_never_deadlock(plan, nbytes):
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=plan,
+    )
+    payload = (np.arange(nbytes) % 251).astype(np.uint8)
+    got = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(payload, 48)
+            got["echo"] = yield from comm.recv(nbytes, 48)
+        elif comm.rank == 48:
+            data = yield from comm.recv(nbytes, 0)
+            yield from comm.send(data, 0)
+
+    # Must terminate (the reset path guarantees forward progress) …
+    result = system.run(program, ranks=[0, 48])
+    # … with the payload intact after the round trip through the faults.
+    assert (got["echo"] == payload).all()
+    if system.fault_injector is None:
+        # All drawn probabilities were 0.0: an empty plan installs nothing.
+        assert plan.is_empty
+        assert result.degraded_devices == ()
+        return
+    # Retry-counter algebra balances whatever the plan did.
+    totals = system.fault_injector.totals()
+    assert totals["faults.lost"] == 0
+    assert totals["faults.delivered"] == totals["faults.sent"]
+    assert (
+        totals["faults.dropped"] + totals["faults.crc_rejects"]
+        == totals["faults.retries"] + totals["faults.resets"]
+    )
+    assert result.degraded_devices == tuple(
+        sorted(system.fault_injector.quarantined)
+    )
+
+
+@given(
+    st.integers(0, 2**31),
+    st.floats(0.0, 0.4),
+    st.floats(0.0, 0.3),
+    st.floats(0.0, 0.4),
+    st.integers(1, 60),
+)
+@settings(max_examples=15, deadline=None)
+def test_link_layer_delivers_exactly_once_in_order(
+    seed, drop, corrupt, duplicate, npackets
+):
+    sim = Simulator()
+    link = Link(sim, "pcie0.up", latency_ns=100.0, bandwidth_bpns=0.05)
+    plan = FaultPlan(
+        seed=seed,
+        link_defaults=LinkFaults(drop=drop, corrupt=corrupt, duplicate=duplicate),
+        max_retries=8,
+        on_exhaust="reset",
+    )
+    state = LinkFaultState(link, plan.for_link(link.name), plan, device_id=0)
+    link.faults = state
+    arrived = []
+
+    def sender():
+        events = [
+            link.post(64, payload=i, on_arrival=(lambda i=i: arrived.append(i)))
+            for i in range(npackets)
+        ]
+        for event in events:
+            yield event
+
+    sim.spawn(sender())
+    sim.run()
+    # Exactly once, in order — no matter what the wire did.
+    assert arrived == list(range(npackets))
+    # Counters track only enveloped packets: after a reset disables the
+    # fault path, the remainder rides the clean link uncounted.
+    assert state.delivered == state.sent
+    assert state.lost == 0

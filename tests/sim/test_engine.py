@@ -204,3 +204,72 @@ def test_spawn_requires_generator():
     sim = Simulator()
     with pytest.raises(TypeError):
         sim.spawn(lambda: None)
+
+
+# -- cancellable timers (Simulator.after / TimerHandle) ------------------------
+
+
+def test_after_fires_at_the_deadline():
+    sim = Simulator()
+    fired = []
+    handle = sim.after(25.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [25.0]
+    assert handle.fired
+    assert not handle.active
+    assert not handle.cancelled
+
+
+def test_after_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.after(25.0, lambda: fired.append(sim.now))
+    assert handle.active
+    assert handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == []
+    # Cancelling twice is a no-op.
+    assert not handle.cancel()
+
+
+def test_after_cancel_after_firing_is_refused():
+    sim = Simulator()
+    handle = sim.after(5.0, lambda: None)
+    sim.run()
+    assert not handle.cancel()
+    assert handle.fired
+
+
+def test_after_timer_does_not_hold_the_simulation():
+    """Timers are daemons: a pending timer alone never deadlocks a run."""
+    sim = Simulator()
+    fired = []
+    sim.after(100.0, lambda: fired.append(True))
+
+    def worker():
+        yield 10.0
+
+    sim.spawn(worker())
+    sim.run()
+    # The run finished; whether the daemon timer fired is incidental —
+    # the point is that no DeadlockError was raised on its account.
+
+
+def test_after_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_timer_callback_may_cancel_its_own_handle():
+    """Self-cancel inside the callback must not double-trigger."""
+    sim = Simulator()
+    outcome = []
+
+    def fire():
+        outcome.append(handle.cancel())  # refused: already fired
+
+    handle = sim.after(3.0, fire)
+    sim.run()
+    assert outcome == [False]

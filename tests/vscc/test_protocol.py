@@ -109,3 +109,58 @@ def test_throughput_ordering_of_schemes():
     assert peaks[CommScheme.TRANSPARENT] < 0.2 * peaks[CommScheme.LOCAL_PUT_REMOTE_GET]
     assert peaks[CommScheme.LOCAL_PUT_REMOTE_GET] < peaks[CommScheme.LOCAL_PUT_LOCAL_GET_VDMA]
     assert peaks[CommScheme.LOCAL_PUT_LOCAL_GET_VDMA] <= 1.05 * peaks[CommScheme.HW_ACCEL_REMOTE_PUT]
+
+
+# -- host-path CRC/sequence envelope (repro.faults link layer) -----------------
+
+
+def test_host_packet_roundtrip():
+    from repro.vscc.protocol import HostPacket
+
+    packet = HostPacket(seq=7, nbytes=1920)
+    raw = packet.encode()
+    assert len(raw) == 12
+    decoded = HostPacket.decode(raw)
+    assert decoded == packet
+
+
+def test_host_packet_rejects_any_single_bit_flip():
+    from repro.vscc.protocol import HostPacket
+
+    raw = bytearray(HostPacket(seq=3, nbytes=512).encode())
+    for bit in range(len(raw) * 8):
+        flipped = bytearray(raw)
+        flipped[bit >> 3] ^= 1 << (bit & 7)
+        assert HostPacket.decode(bytes(flipped)) is None, f"bit {bit} slipped through"
+
+
+def test_host_packet_rejects_wrong_length():
+    from repro.vscc.protocol import HostPacket
+
+    raw = HostPacket(seq=0, nbytes=1).encode()
+    assert HostPacket.decode(raw[:-1]) is None
+    assert HostPacket.decode(raw + b"\x00") is None
+    assert HostPacket.decode(b"") is None
+
+
+def test_sequence_tracker_accepts_in_order_and_dedups():
+    from repro.vscc.protocol import SequenceTracker
+
+    rx = SequenceTracker()
+    assert rx.accept(0) and rx.accept(1)
+    assert not rx.accept(1)           # duplicate: dropped, counted
+    assert rx.accept(2)
+    assert rx.delivered == 3
+    assert rx.duplicates == 1
+    assert rx.expected == 3
+
+
+def test_sequence_tracker_raises_on_gap():
+    import pytest as _pytest
+
+    from repro.vscc.protocol import ProtocolViolation, SequenceTracker
+
+    rx = SequenceTracker()
+    rx.accept(0)
+    with _pytest.raises(ProtocolViolation):
+        rx.accept(2)                  # 1 is still outstanding

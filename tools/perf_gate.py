@@ -42,6 +42,24 @@ def fingerprint_of(entry: dict) -> dict:
     return {k: v for k, v in entry.items() if k not in _NON_FINGERPRINT_KEYS}
 
 
+def fingerprint_drift(base_fp: dict, fresh_fp: dict) -> list[str]:
+    """Per-field drift report between two fingerprints (empty = equal).
+
+    Names every field that changed value, vanished, or newly appeared,
+    so a failing gate says *which* simulated result moved instead of
+    dumping two whole dicts to eyeball.
+    """
+    drifts: list[str] = []
+    for key in sorted(set(base_fp) | set(fresh_fp)):
+        if key not in fresh_fp:
+            drifts.append(f"{key}: missing from fresh run (baseline {base_fp[key]!r})")
+        elif key not in base_fp:
+            drifts.append(f"{key}: new field not in baseline (fresh {fresh_fp[key]!r})")
+        elif base_fp[key] != fresh_fp[key]:
+            drifts.append(f"{key}: {base_fp[key]!r} -> {fresh_fp[key]!r}")
+    return drifts
+
+
 def measure(repeat: int) -> dict:
     """Run the wall-clock harness in a subprocess, return its document."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -94,16 +112,23 @@ def gate(baseline: dict, fresh: dict) -> list[str]:
             continue
         base_fp = fingerprint_of(base)
         fresh_fp = fingerprint_of(entry)
+        if "wall_s" not in base or "wall_s" not in entry:
+            which = "baseline" if "wall_s" not in base else "fresh run"
+            failures.append(f"{name}: malformed entry — no 'wall_s' in the {which}")
+            print(f"{name:26s} {'-':>9s} {'-':>9s} {'-':>7s}  MALFORMED")
+            continue
         base_wall = base["wall_s"]
         wall = entry["wall_s"]
         ratio = wall / base_wall
         status = "ok"
-        if fresh_fp != base_fp:
+        drifts = fingerprint_drift(base_fp, fresh_fp)
+        if drifts:
             status = "FINGERPRINT"
             failures.append(
-                f"{name}: simulated-result fingerprint changed: "
-                f"{fresh_fp} != {base_fp}"
+                f"{name}: simulated-result fingerprint drifted "
+                f"({len(drifts)} field{'s' if len(drifts) != 1 else ''}):"
             )
+            failures.extend(f"    {name}.{drift}" for drift in drifts)
         elif ratio > 1.0 + tolerance:
             status = "SLOW"
             failures.append(
