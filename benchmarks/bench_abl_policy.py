@@ -1,0 +1,91 @@
+"""Ablation — policy-driven scheme selection (PR 4 tentpole).
+
+A fixed ``CommScheme`` freezes one point of the Fig 6b trade-off for a
+whole run; a mixed-size workload then pays the wrong side of at least
+one crossover. This ablation runs the same mixed workload — small
+synchronization-style messages, mid-band single-chunk payloads, and
+multi-chunk bulk past the ~8 kB MPB cliff — under every fixed scheme
+and under the dynamic policies, and reports total simulated time.
+
+Acceptance criterion: :class:`ThresholdPolicy` beats *every* fixed
+scheme on the mixed workload (it rides the cached-get band and the
+vDMA band each where they win), and :class:`AdaptivePolicy` converges
+to within a few probe-messages of the threshold rule.
+"""
+
+from repro.bench import format_table
+from repro.vscc.policy import AdaptivePolicy, ThresholdPolicy
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+from conftest import record
+
+#: One "round" of the mixed workload: flag-sized, mid-band, past-cliff.
+MIXED_SIZES = (32, 512, 2048, 7680, 16384, 65536)
+ROUNDS = 3
+CROSS_PAIR = (0, 48)
+
+FIXED_SCHEMES = (
+    CommScheme.LOCAL_PUT_REMOTE_GET,
+    CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+    CommScheme.REMOTE_PUT_WCB,
+)
+
+
+def _mixed_program(comm):
+    for _ in range(ROUNDS):
+        for size in MIXED_SIZES:
+            payload = bytes(size)
+            if comm.rank == CROSS_PAIR[0]:
+                yield from comm.send(payload, CROSS_PAIR[1])
+                yield from comm.recv(size, CROSS_PAIR[1])
+            else:
+                yield from comm.recv(size, CROSS_PAIR[0])
+                yield from comm.send(payload, CROSS_PAIR[0])
+
+
+def _elapsed_us(**system_kwargs):
+    system = VSCCSystem(num_devices=2, **system_kwargs)
+    result = system.run(_mixed_program, ranks=list(CROSS_PAIR))
+    return result.elapsed_ns / 1000.0, system
+
+
+def test_policy_ablation(benchmark, once):
+    def run():
+        rows = {}
+        for scheme in FIXED_SCHEMES:
+            rows[scheme.value], _ = _elapsed_us(scheme=scheme)
+        rows["threshold"], thr_system = _elapsed_us(policy=ThresholdPolicy())
+        rows["adaptive"], _ = _elapsed_us(policy=AdaptivePolicy())
+        return rows, thr_system
+
+    rows, thr_system = once(run)
+    best_fixed = min(rows[s.value] for s in FIXED_SCHEMES)
+    print()
+    print(
+        format_table(
+            ["selection", "mixed workload us", "vs best fixed"],
+            [
+                (name, us, us / best_fixed)
+                for name, us in sorted(rows.items(), key=lambda kv: kv[1])
+            ],
+        )
+    )
+    record(
+        benchmark,
+        system=thr_system,
+        elapsed_us={name: round(us, 1) for name, us in rows.items()},
+        best_fixed_us=round(best_fixed, 1),
+    )
+    # The tentpole claim: per-message selection beats every fixed scheme
+    # on a workload whose sizes straddle the Fig 6b crossovers.
+    for scheme in FIXED_SCHEMES:
+        assert rows["threshold"] < rows[scheme.value], (
+            f"ThresholdPolicy should beat fixed {scheme.value} on the "
+            f"mixed workload"
+        )
+    # Adaptive pays a handful of probe messages, then follows the same
+    # crossovers; it must stay well clear of the worst fixed scheme and
+    # within 15% of the explicit threshold rule.
+    assert rows["adaptive"] < max(rows[s.value] for s in FIXED_SCHEMES)
+    assert rows["adaptive"] <= rows["threshold"] * 1.15

@@ -42,7 +42,7 @@ def _run(compute_cycles, overlap: bool):
                 yield from comm.recv(SIZE, 0)
                 yield from comm.env.compute(cycles=compute_cycles)
 
-    system.launch(program, ranks=[0, 48])
+    system.run(program, ranks=[0, 48])
     return done["t"]
 
 

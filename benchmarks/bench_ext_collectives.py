@@ -33,7 +33,7 @@ def _collective_cost(num_devices: int, nranks: int):
             times["barrier"] = t1 - t0
             times["allreduce"] = t2 - t1
 
-    system.launch(program, ranks=range(nranks))
+    system.run(program, ranks=range(nranks))
     return times
 
 

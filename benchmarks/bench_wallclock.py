@@ -91,7 +91,7 @@ def fig7_bt() -> dict:
     system = VSCCSystem(
         num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
     )
-    system.launch(bench.program, ranks=range(64))
+    system.run(bench.program, ranks=range(64))
     return {
         "sim_now_ns": system.sim.now,
         "events": system.sim.events_processed,
@@ -106,6 +106,47 @@ def fig8_traffic() -> dict:
     return {
         "total_bytes": float(stats.total_bytes),
         "max_pair_bytes": float(stats.max_pair_bytes),
+    }
+
+
+def policy_threshold_mixed() -> dict:
+    """Mixed-size cross-device traffic under the ThresholdPolicy.
+
+    Exercises the dynamic-selection path: per-message policy decisions,
+    the decision journal, and dispatch over two concurrently-built
+    transports. The fingerprint pins the per-scheme decision counts on
+    top of the usual clock/event pair, so a policy change that moves
+    any message to a different scheme fails the gate loudly.
+    """
+    from repro.vscc.policy import ThresholdPolicy
+    from repro.vscc.schemes import CommScheme
+    from repro.vscc.system import VSCCSystem
+
+    sizes = (32, 512, 2048, 7680, 16384, 65536)
+
+    def program(comm):
+        for _ in range(3):
+            for size in sizes:
+                payload = bytes(size)
+                if comm.rank == 0:
+                    yield from comm.send(payload, 48)
+                    yield from comm.recv(size, 48)
+                else:
+                    yield from comm.recv(size, 0)
+                    yield from comm.send(payload, 0)
+
+    system = VSCCSystem(num_devices=2, policy=ThresholdPolicy())
+    system.run(program, ranks=[0, 48])
+    metrics = system.metrics
+    return {
+        "sim_now_ns": system.sim.now,
+        "events": system.sim.events_processed,
+        "decisions_cached": metrics[
+            f"policy.decisions{{scheme={CommScheme.LOCAL_PUT_REMOTE_GET.value}}}"
+        ],
+        "decisions_vdma": metrics[
+            f"policy.decisions{{scheme={CommScheme.LOCAL_PUT_LOCAL_GET_VDMA.value}}}"
+        ],
     }
 
 
@@ -182,6 +223,7 @@ SCENARIOS = {
     "fig6b_interdevice": fig6b_interdevice,
     "fig7_bt": fig7_bt,
     "fig8_traffic": fig8_traffic,
+    "policy_threshold_mixed": policy_threshold_mixed,
     "micro_spawn_delay": spawn_delay_churn,
     "micro_yield_float": yield_float_churn,
     "micro_zero_delay": zero_delay_churn,

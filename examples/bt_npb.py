@@ -31,7 +31,7 @@ def verify_real_numerics() -> None:
     clazz = BTClass("mini", n=16, niter=3, dt=0.01)
     bench = BTBenchmark(clazz=clazz, nranks=4, niter=3, mode="adi")
     system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
-    results = system.launch(bench.program, ranks=range(4))
+    results = system.run(bench.program, ranks=range(4)).results
 
     part = bench.part
     full = np.zeros((part.n,) * 3)
@@ -50,7 +50,7 @@ def class_c_scaling() -> None:
     print("\n=== part 2: BT class C, 225 ranks on 5 devices (model mode) ===")
     bench = BTBenchmark(clazz="C", nranks=225, niter=1, mode="model")
     system = VSCCSystem(num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
-    system.launch(bench.program, ranks=range(225))
+    system.run(bench.program, ranks=range(225))
     result = bench.result()
     peak = 225 * 0.533  # paper: 533 MFLOP/s per core -> ~120 GFLOP/s grid
     print(f"achieved {result.gflops_per_s:.1f} GFLOP/s "

@@ -39,7 +39,7 @@ def main() -> None:
           f"{system.num_ranks} available ranks")
     # class A (64^3) so the grid accommodates up to 15 slabs per axis
     bench = BTBenchmark(clazz="A", nranks=usable, niter=1, mode="model")
-    system.launch(bench.program, ranks=range(usable))
+    system.run(bench.program, ranks=range(usable))
     result = bench.result()
     print(f"BT class A, {usable} ranks: {result.gflops_per_s:.2f} GFLOP/s "
           f"({result.elapsed_s * 1000:.1f} simulated ms)")

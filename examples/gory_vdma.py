@@ -41,7 +41,7 @@ def gory_demo(system: VSCCSystem) -> None:
             data = yield from comm.gory.get(1, buf_off, 17)
             got["data"] = bytes(data)
 
-    system.launch(program, ranks=[0, 1])
+    system.run(program, ranks=[0, 1])
     print(f"rank 1 pulled via gory get: {got['data']!r}")
     assert got["data"] == b"one-sided payload"
 
@@ -75,7 +75,7 @@ def vdma_demo(system: VSCCSystem) -> None:
         state["spin_us"] = (env.sim.now - t0) / 1000.0
 
     system2 = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
-    system2.launch(sender, ranks=[0])
+    system2.run(sender, ranks=[0])
     copied = system2.devices[1].mpb.read(MpbAddr(1, 0, 0), len(payload))
     print(f"2048 B copied device 0 -> device 1 by the vDMA engine: "
           f"intact={bool((copied == payload).all())}")

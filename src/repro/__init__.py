@@ -23,7 +23,7 @@ Quickstart::
         elif comm.rank == 48:
             print(bytes((yield from comm.recv(10, src=0))))
 
-    VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA).launch(program)
+    VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA).run(program)
 """
 
 from .host import Host, HostParams, PCIeParams

@@ -195,7 +195,8 @@ def run_cg(session, config: Optional[CGConfig] = None) -> tuple[np.ndarray, floa
     """Run distributed CG; returns (assembled solution, final residual²)."""
     config = config or CGConfig()
     results: dict = {}
-    session.launch(cg_program(config, results), ranks=range(config.nranks))
+    run = getattr(session, "run", session.launch)
+    run(cg_program(config, results), ranks=range(config.nranks))
     x = np.zeros((config.n, config.n))
     rs = 0.0
     for _rank, (start, end, block, res) in results.items():

@@ -103,5 +103,6 @@ def run_pingpong(
             partner, sizes, iterations, warmup, results, verify
         )(comm)
 
-    session.launch(factory, ranks=[low, high])
+    run = getattr(session, "run", session.launch)
+    run(factory, ranks=[low, high])
     return [results[size] for size in sizes]

@@ -173,7 +173,7 @@ def fig7_bt_scaling(
             system = VSCCSystem(num_devices=num_devices, scheme=scheme)
             if nranks > system.num_ranks:
                 raise ValueError(f"{nranks} ranks exceed the system size")
-            system.launch(bench.program, ranks=range(nranks))
+            system.run(bench.program, ranks=range(nranks))
             result = bench.result()
             points.append(
                 BTScalingPoint(nranks, scheme, result.gflops_per_s,
@@ -197,7 +197,7 @@ def fig8_bt_traffic(
     stats scaled to the paper's 200-step run)."""
     bench = BTBenchmark(clazz=clazz, nranks=nranks, niter=niter, mode="model")
     system = VSCCSystem(num_devices=num_devices, scheme=scheme)
-    system.launch(bench.program, ranks=range(nranks))
+    system.run(bench.program, ranks=range(nranks))
     matrix = traffic_matrix(system.layout)
     stats = traffic_stats(matrix, system.layout)
     scaled = traffic_stats(matrix * (full_run_steps // max(niter, 1)), system.layout)

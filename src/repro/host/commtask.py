@@ -36,6 +36,7 @@ from .mmio import (
     REG_MSG_COUNT,
     REG_MSG_CTRL,
 )
+from .regions import RegionKind
 from .wcbuf import HostWriteCombiner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -43,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
     from .driver import Host
 
-__all__ = ["CommunicationTask"]
+__all__ = ["CommunicationTask", "HostRequestScheduler"]
 
 #: Size of a routed request header packet on the wire (bytes).
 REQUEST_BYTES = 16
@@ -53,6 +54,172 @@ LINE_PACKET_BYTES = 48
 #: transfers (a blocking reader serializes them anyway). Also the batch
 #: the SIF forwards as one routed packet on the fast-ack write path.
 COARSEN_LINES = 60
+
+
+class HostRequestScheduler:
+    """Unified request scheduler of one communication task.
+
+    §3.1/§3.2: registration lets the task "classify incoming requests
+    and handle them in a different way". The scheduler is where that
+    classification becomes explicit — every request entering the task is
+    admitted onto one of three lanes:
+
+    * ``sync`` — accesses to registered FLAG regions (and the dedicated
+      flag fast path). Synchronization traffic rides *ahead* of bulk:
+      flag writes are fast-acknowledged and forwarded posted, never
+      queued behind a write-combining stream (only the matching-core
+      fence orders a flag behind its own payload), and flag reads bypass
+      every host buffer. ``sync_bypass`` counts the sync requests that
+      were admitted while bulk work was in flight on this device — the
+      priority lane actually overtaking.
+    * ``bulk`` — registered BUFFER (and unregistered) data movement:
+      write-combining streams, direct small writes, transparent routing.
+    * ``ctrl`` — MMIO register traffic programming the task itself.
+
+    Per-lane request/byte counters are always on; ``sched.queue_depth``
+    gauges track in-flight requests when :mod:`repro.obs` is enabled.
+
+    **vDMA descriptor coalescing.** When the host runs a dynamic
+    communication policy (``host.sched_coalesce``), a vDMA descriptor
+    programmed while another copy to the *same destination device* is
+    still in flight is chained onto that engine pass instead of paying
+    the per-descriptor engine startup (``vdma_setup_ns``) again — one
+    host copy loop serving back-to-back descriptors for the route.
+    Static-scheme runs keep the flag off, so their timing stays
+    bit-identical to the pre-scheduler code.
+    """
+
+    SYNC = "sync"
+    BULK = "bulk"
+    CTRL = "ctrl"
+    LANES = (SYNC, BULK, CTRL)
+
+    __slots__ = (
+        "task", "host", "device_id",
+        "sync_requests", "sync_bytes", "sync_depth",
+        "bulk_requests", "bulk_bytes", "bulk_depth",
+        "ctrl_requests", "ctrl_bytes", "ctrl_depth",
+        "sync_bypass", "coalesced_vdma", "_vdma_inflight",
+        "_obs", "_sync_gauge", "_bulk_gauge", "_ctrl_gauge",
+    )
+
+    def __init__(self, task: "CommunicationTask"):
+        self.task = task
+        self.host = task.host
+        self.device_id = task.device_id
+        # Hot-path counters are plain attributes (admit/complete run once
+        # per host request — no dict hashing on that path).
+        self.sync_requests = 0
+        self.sync_bytes = 0
+        self.sync_depth = 0
+        self.bulk_requests = 0
+        self.bulk_bytes = 0
+        self.bulk_depth = 0
+        self.ctrl_requests = 0
+        self.ctrl_bytes = 0
+        self.ctrl_depth = 0
+        #: Sync-lane admissions that overtook in-flight bulk work.
+        self.sync_bypass = 0
+        #: vDMA descriptors chained onto an in-flight same-route copy.
+        self.coalesced_vdma = 0
+        #: In-flight vDMA copies per destination device (the route key).
+        self._vdma_inflight: dict[int, int] = {}
+        from repro.obs.metrics import registry_for
+
+        self._obs = registry_for(task.sim)
+        self._sync_gauge = self._obs.gauge(
+            "sched.queue_depth", device=self.device_id, lane=self.SYNC
+        )
+        self._bulk_gauge = self._obs.gauge(
+            "sched.queue_depth", device=self.device_id, lane=self.BULK
+        )
+        self._ctrl_gauge = self._obs.gauge(
+            "sched.queue_depth", device=self.device_id, lane=self.CTRL
+        )
+
+    def sync_access(self, addr: MpbAddr, length: int) -> bool:
+        """Whether this remote access is sync traffic (registered FLAG
+        region, §3.1) — else it rides the bulk lane."""
+        return self.host.regions.classify(addr, length) is RegionKind.FLAG
+
+    # -- lane admission (one admit/complete pair per host request) -------------
+
+    def admit_sync(self, nbytes: int) -> None:
+        self.sync_requests += 1
+        self.sync_bytes += nbytes
+        if self.bulk_depth:
+            self.sync_bypass += 1
+        self.sync_depth += 1
+        if self._obs.enabled:
+            self._sync_gauge.set(float(self.sync_depth))
+
+    def complete_sync(self) -> None:
+        self.sync_depth -= 1
+        if self._obs.enabled:
+            self._sync_gauge.set(float(self.sync_depth))
+
+    def admit_bulk(self, nbytes: int) -> None:
+        self.bulk_requests += 1
+        self.bulk_bytes += nbytes
+        self.bulk_depth += 1
+        if self._obs.enabled:
+            self._bulk_gauge.set(float(self.bulk_depth))
+
+    def complete_bulk(self) -> None:
+        self.bulk_depth -= 1
+        if self._obs.enabled:
+            self._bulk_gauge.set(float(self.bulk_depth))
+
+    def admit_ctrl(self, nbytes: int) -> None:
+        self.ctrl_requests += 1
+        self.ctrl_bytes += nbytes
+        self.ctrl_depth += 1
+        if self._obs.enabled:
+            self._ctrl_gauge.set(float(self.ctrl_depth))
+
+    def complete_ctrl(self) -> None:
+        self.ctrl_depth -= 1
+        if self._obs.enabled:
+            self._ctrl_gauge.set(float(self.ctrl_depth))
+
+    # -- vDMA route coalescing -----------------------------------------------------
+
+    def vdma_admit(self, dst_device: int, copy_id: int) -> bool:
+        """Whether this descriptor chains onto an in-flight route copy."""
+        if not self.host.sched_coalesce:
+            return False
+        if self._vdma_inflight.get(dst_device, 0) <= 0:
+            return False
+        self.coalesced_vdma += 1
+        tracer = self.host.device_of(self.device_id).tracer
+        if tracer.wants("sched"):
+            tracer.emit(
+                self.task.sim.now, "sched", self.device_id,
+                "vdma_coalesced", copy_id, dst_device,
+            )
+        return True
+
+    def vdma_begin(self, dst_device: int) -> None:
+        self._vdma_inflight[dst_device] = self._vdma_inflight.get(dst_device, 0) + 1
+
+    def vdma_end(self, dst_device: int) -> None:
+        self._vdma_inflight[dst_device] -= 1
+
+    # -- export --------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        d = self.device_id
+        out: dict[str, float] = {}
+        for lane, requests, nbytes in (
+            (self.SYNC, self.sync_requests, self.sync_bytes),
+            (self.BULK, self.bulk_requests, self.bulk_bytes),
+            (self.CTRL, self.ctrl_requests, self.ctrl_bytes),
+        ):
+            out[f"sched.requests{{device={d},lane={lane}}}"] = float(requests)
+            out[f"sched.bytes{{device={d},lane={lane}}}"] = float(nbytes)
+        out[f"sched.sync_bypass{{device={d}}}"] = float(self.sync_bypass)
+        out[f"sched.coalesced{{device={d}}}"] = float(self.coalesced_vdma)
+        return out
 
 
 class CommunicationTask:
@@ -78,6 +245,8 @@ class CommunicationTask:
         #: Routed line round-trip time per (target_device, read) — the
         #: cable/host parameters are immutable, so compute once.
         self._rtt_cache: dict[tuple[int, bool], float] = {}
+        #: Unified request scheduler (classification lanes + coalescing).
+        self.sched = HostRequestScheduler(self)
         self._wire_msg_handlers()
 
     def metrics_snapshot(self) -> dict[str, float]:
@@ -88,13 +257,15 @@ class CommunicationTask:
         for combiner in self._combiners.values():
             wcb_bytes += combiner.bytes_combined
             wcb_flushes += combiner.flushes
-        return {
+        out = {
             f"commtask.routed_reads{{device={d}}}": float(self.routed_reads),
             f"commtask.routed_writes{{device={d}}}": float(self.routed_writes),
             f"commtask.flag_forwards{{device={d}}}": float(self.flag_forwards),
             f"wcbuf.bytes_combined{{device={d}}}": wcb_bytes,
             f"wcbuf.flushes{{device={d}}}": wcb_flushes,
         }
+        out.update(self.sched.metrics_snapshot())
+        return out
 
     # -- helpers ---------------------------------------------------------------
 
@@ -160,39 +331,51 @@ class CommunicationTask:
         single reader while keeping event counts tractable.
         """
         self._check_route(addr.device)
-        target = self.host.device_of(addr.device)
-        lines = max(1, -(-length // 32))
-        rtt = self._line_rtt_ns(addr.device, read=True)
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
-        left = lines
-        while left > 0:
-            batch = min(COARSEN_LINES, left)
-            yield batch * rtt
-            left -= batch
-        self.routed_reads += lines
-        self._account_routed(addr.device, length + lines * REQUEST_BYTES)
-        # Data is sampled at completion time — by then every line-level
-        # round trip has observed the (stable) source buffer.
-        return target.mpb.read(addr, length)
+        sched = self.sched
+        sync = sched.sync_access(addr, length)
+        sched.admit_sync(length) if sync else sched.admit_bulk(length)
+        try:
+            target = self.host.device_of(addr.device)
+            lines = max(1, -(-length // 32))
+            rtt = self._line_rtt_ns(addr.device, read=True)
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
+            left = lines
+            while left > 0:
+                batch = min(COARSEN_LINES, left)
+                yield batch * rtt
+                left -= batch
+            self.routed_reads += lines
+            self._account_routed(addr.device, length + lines * REQUEST_BYTES)
+            # Data is sampled at completion time — by then every line-level
+            # round trip has observed the (stable) source buffer.
+            return target.mpb.read(addr, length)
+        finally:
+            sched.complete_sync() if sync else sched.complete_bulk()
 
     def transparent_write(
         self, env: "CoreEnv", addr: MpbAddr, data: np.ndarray
     ) -> Generator:
         """Blocking per-line routed write (end-to-end acknowledge)."""
         self._check_route(addr.device)
-        target = self.host.device_of(addr.device)
         length = len(data)
-        lines = max(1, -(-length // 32))
-        rtt = self._line_rtt_ns(addr.device, read=False)
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
-        left = lines
-        while left > 0:
-            batch = min(COARSEN_LINES, left)
-            yield batch * rtt
-            left -= batch
-        self.routed_writes += lines
-        self._account_routed(addr.device, length + lines * REQUEST_BYTES)
-        target.mpb.write(addr, data)
+        sched = self.sched
+        sync = sched.sync_access(addr, length)
+        sched.admit_sync(length) if sync else sched.admit_bulk(length)
+        try:
+            target = self.host.device_of(addr.device)
+            lines = max(1, -(-length // 32))
+            rtt = self._line_rtt_ns(addr.device, read=False)
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
+            left = lines
+            while left > 0:
+                batch = min(COARSEN_LINES, left)
+                yield batch * rtt
+                left -= batch
+            self.routed_writes += lines
+            self._account_routed(addr.device, length + lines * REQUEST_BYTES)
+            target.mpb.write(addr, data)
+        finally:
+            sched.complete_sync() if sync else sched.complete_bulk()
 
     # -- fast-acknowledged streaming writes ------------------------------------------
 
@@ -213,6 +396,7 @@ class CommunicationTask:
         host = self.host
         cable = self.cable
         length = len(data)
+        self.sched.admit_bulk(length)
         lines = max(1, -(-length // 32))
         ack_ns = cable.params.fpga_ack_ns
         yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
@@ -221,45 +405,48 @@ class CommunicationTask:
         # source bytes are stable for the lifetime of every view.
         payload = as_u8(data)
 
-        combiner = None
-        if via_host_wcb:
-            combiner = self._combiners.get(env.core_id)
-            if combiner is None or not self._wcb_expected.get(env.core_id):
-                raise RuntimeError(
-                    f"core {env.core_id} streamed a registered write without an "
-                    "open host write-combining stream (missing MSG announce)"
-                )
-            base = combiner.issued
-            combiner.issued += length
-
-        offset = 0
-        left = lines
-        while left > 0:
-            batch = min(COARSEN_LINES, left)
-            nbytes = min(batch * 32, length - offset)
-            # The issuing core stalls one FPGA ack per 32 B burst.
-            yield batch * ack_ns
-            chunk = payload[offset : offset + nbytes]
-            if combiner is not None:
-                off = base + offset
-                cable.up.post(
-                    nbytes + REQUEST_BYTES,
-                    on_arrival=(lambda c=chunk, o=off: combiner.absorb(o, c)),
-                )
-            else:
-                dst_cable = host.cable_of(addr.device)
-                dst_dev = host.device_of(addr.device)
-
-                def forward(c=chunk, o=offset) -> None:
-                    dst_cable.down.post(
-                        len(c) + REQUEST_BYTES,
-                        on_arrival=lambda: dst_dev.mpb.write(addr + o, c),
-                        extra_overhead_ns=host.params.service_ns,
+        try:
+            combiner = None
+            if via_host_wcb:
+                combiner = self._combiners.get(env.core_id)
+                if combiner is None or not self._wcb_expected.get(env.core_id):
+                    raise RuntimeError(
+                        f"core {env.core_id} streamed a registered write without an "
+                        "open host write-combining stream (missing MSG announce)"
                     )
+                base = combiner.issued
+                combiner.issued += length
 
-                cable.up.post(nbytes + REQUEST_BYTES, on_arrival=forward)
-            offset += nbytes
-            left -= batch
+            offset = 0
+            left = lines
+            while left > 0:
+                batch = min(COARSEN_LINES, left)
+                nbytes = min(batch * 32, length - offset)
+                # The issuing core stalls one FPGA ack per 32 B burst.
+                yield batch * ack_ns
+                chunk = payload[offset : offset + nbytes]
+                if combiner is not None:
+                    off = base + offset
+                    cable.up.post(
+                        nbytes + REQUEST_BYTES,
+                        on_arrival=(lambda c=chunk, o=off: combiner.absorb(o, c)),
+                    )
+                else:
+                    dst_cable = host.cable_of(addr.device)
+                    dst_dev = host.device_of(addr.device)
+
+                    def forward(c=chunk, o=offset) -> None:
+                        dst_cable.down.post(
+                            len(c) + REQUEST_BYTES,
+                            on_arrival=lambda: dst_dev.mpb.write(addr + o, c),
+                            extra_overhead_ns=host.params.service_ns,
+                        )
+
+                    cable.up.post(nbytes + REQUEST_BYTES, on_arrival=forward)
+                offset += nbytes
+                left -= batch
+        finally:
+            self.sched.complete_bulk()
 
     def small_direct_write(
         self, env: "CoreEnv", addr: MpbAddr, data: np.ndarray
@@ -275,23 +462,27 @@ class CommunicationTask:
         host = self.host
         cable = self.cable
         length = len(data)
-        lines = max(1, -(-length // 32))
-        # One snapshot copy (≤ threshold, so ≤128 B): delivery is fully
-        # posted, the sender may reuse its buffer before arrival.
-        payload = as_u8(data).copy()
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
-        yield lines * cable.params.fpga_ack_ns
-        dst_cable = host.cable_of(addr.device)
-        dst_dev = host.device_of(addr.device)
+        self.sched.admit_bulk(length)
+        try:
+            lines = max(1, -(-length // 32))
+            # One snapshot copy (≤ threshold, so ≤128 B): delivery is fully
+            # posted, the sender may reuse its buffer before arrival.
+            payload = as_u8(data).copy()
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
+            yield lines * cable.params.fpga_ack_ns
+            dst_cable = host.cable_of(addr.device)
+            dst_dev = host.device_of(addr.device)
 
-        def forward() -> None:
-            dst_cable.down.post(
-                length + REQUEST_BYTES,
-                on_arrival=lambda: dst_dev.mpb.write(addr, payload),
-                extra_overhead_ns=host.params.service_ns,
-            )
+            def forward() -> None:
+                dst_cable.down.post(
+                    length + REQUEST_BYTES,
+                    on_arrival=lambda: dst_dev.mpb.write(addr, payload),
+                    extra_overhead_ns=host.params.service_ns,
+                )
 
-        cable.up.post(length + REQUEST_BYTES, on_arrival=forward)
+            cable.up.post(length + REQUEST_BYTES, on_arrival=forward)
+        finally:
+            self.sched.complete_bulk()
 
     def issue_wcb_open(self, env: "CoreEnv", target: MpbAddr, nbytes: int) -> Generator:
         """Sender-side announce: reserve the stream, then write the MSG regs.
@@ -360,23 +551,29 @@ class CommunicationTask:
         self.flag_forwards += 1
         host = self.host
         if not fast_ack:
+            # Routed transparently; the sync-lane admission happens in
+            # transparent_write (the flag region classifies it).
             yield from self.transparent_write(env, addr, np.frombuffer(bytes([value]), np.uint8))
             return
-        yield from self.fence_wcb(env.core_id)
-        cable = self.cable
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
-        yield cable.params.fpga_ack_ns
-        dst_cable = host.cable_of(addr.device)
-        dst_dev = host.device_of(addr.device)
+        self.sched.admit_sync(1)
+        try:
+            yield from self.fence_wcb(env.core_id)
+            cable = self.cable
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
+            yield cable.params.fpga_ack_ns
+            dst_cable = host.cable_of(addr.device)
+            dst_dev = host.device_of(addr.device)
 
-        def forward() -> None:
-            dst_cable.down.post(
-                REQUEST_BYTES,
-                on_arrival=lambda: dst_dev.mpb.write_byte(addr, value),
-                extra_overhead_ns=host.params.service_ns,
-            )
+            def forward() -> None:
+                dst_cable.down.post(
+                    REQUEST_BYTES,
+                    on_arrival=lambda: dst_dev.mpb.write_byte(addr, value),
+                    extra_overhead_ns=host.params.service_ns,
+                )
 
-        cable.up.post(REQUEST_BYTES, on_arrival=forward)
+            cable.up.post(REQUEST_BYTES, on_arrival=forward)
+        finally:
+            self.sched.complete_sync()
 
     # -- MMIO -----------------------------------------------------------------------------
 
@@ -390,29 +587,37 @@ class CommunicationTask:
         """
         cable = self.cable
         transactions = 1 if fused else len(regs)
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions)
-        yield transactions * cable.params.fpga_ack_ns
+        self.sched.admit_ctrl(32 * transactions)
+        try:
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions)
+            yield transactions * cable.params.fpga_ack_ns
 
-        def deliver() -> None:
-            for reg, value in regs:
-                self.mmio.write(env.core_id, reg, value)
+            def deliver() -> None:
+                for reg, value in regs:
+                    self.mmio.write(env.core_id, reg, value)
 
-        # Host service is charged as serialization *before* arrival so a
-        # register write can never be overtaken by data posted after it.
-        cable.up.post(
-            32 * transactions,
-            on_arrival=deliver,
-            extra_overhead_ns=self.host.params.service_ns,
-        )
+            # Host service is charged as serialization *before* arrival so a
+            # register write can never be overtaken by data posted after it.
+            cable.up.post(
+                32 * transactions,
+                on_arrival=deliver,
+                extra_overhead_ns=self.host.params.service_ns,
+            )
+        finally:
+            self.sched.complete_ctrl()
 
     def mmio_read(self, env: "CoreEnv", reg: int) -> Generator:
         cable = self.cable
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
-        yield from cable.up.transfer(REQUEST_BYTES)
-        yield self.host.params.service_ns
-        value = self.mmio.read(reg)
-        yield from cable.down.transfer(LINE_PACKET_BYTES)
-        return value
+        self.sched.admit_ctrl(REQUEST_BYTES)
+        try:
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
+            yield from cable.up.transfer(REQUEST_BYTES)
+            yield self.host.params.service_ns
+            value = self.mmio.read(reg)
+            yield from cable.down.transfer(LINE_PACKET_BYTES)
+            return value
+        finally:
+            self.sched.complete_ctrl()
 
     # -- MSG register wiring -----------------------------------------------------------------
 

@@ -92,6 +92,11 @@ class Host:
         self.params = host_params or HostParams()
         self.pcie_params = pcie_params or PCIeParams()
         self.extensions_enabled = extensions_enabled
+        #: Whether the request scheduler may chain back-to-back vDMA
+        #: descriptors for one route into a single engine pass. Off by
+        #: default (static-scheme runs stay bit-identical); dynamic
+        #: communication policies opt in via ``VSCCSystem``.
+        self.sched_coalesce = False
         self.devices = {d.device_id: d for d in devices}
         self.cables = {
             d.device_id: PCIeCable(sim, self.pcie_params, d, fast_write_ack)

@@ -114,13 +114,21 @@ class VDMAController:
                 self.sim.now, "vdma", self.device_id, "programmed",
                 self.copies_started, count,
             )
+        # Request-scheduler coalescing: a descriptor programmed while
+        # another copy to the same destination device is in flight chains
+        # onto that engine pass (no per-descriptor startup). Decided at
+        # program time, before this copy joins the in-flight set.
+        sched = self.host.task_of(self.device_id).sched
+        chained = sched.vdma_admit(cmd.dst.device, self.copies_started)
+        sched.vdma_begin(cmd.dst.device)
         self.sim.spawn(
-            self._copy(src, count, cmd, self.copies_started),
+            self._copy(src, count, cmd, self.copies_started, chained),
             name=f"daemon:vdma.d{self.device_id}",
         )
 
     def _copy(
-        self, src: MpbAddr, count: int, cmd: VdmaCommand, copy_id: int
+        self, src: MpbAddr, count: int, cmd: VdmaCommand, copy_id: int,
+        chained: bool = False,
     ) -> Generator:
         host = self.host
         sim = self.sim
@@ -175,8 +183,10 @@ class VDMAController:
             if remaining[0] == 0:
                 all_committed.trigger()
 
-        # Host-side engine startup (descriptor build, thread hand-off).
-        yield host.params.vdma_setup_ns
+        # Host-side engine startup (descriptor build, thread hand-off) —
+        # skipped for a descriptor chained onto an in-flight route copy.
+        if not chained:
+            yield host.params.vdma_setup_ns
 
         offset = 0
         for index, size in enumerate(sizes):
@@ -215,6 +225,7 @@ class VDMAController:
         if watchdog is not None:
             watchdog.cancel()
         self.copies_completed += 1
+        host.task_of(self.device_id).sched.vdma_end(cmd.dst.device)
         self._depth_gauge.add(-1.0)
         if tracer.wants("vdma"):
             tracer.emit(sim.now, "vdma", self.device_id, "copy_done", copy_id)

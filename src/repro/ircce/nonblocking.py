@@ -159,7 +159,7 @@ def recv_any_source(
     if not sources:
         raise ValueError("recv_any_source needs candidate sources")
     for src in sources:
-        transport = comm.selector.select(comm, src, nbytes)
+        transport = comm.selector.select(comm, src, nbytes, op="recv", probe=True)
         if transport.name not in ("rcce-default", "ircce-pipelined"):
             raise NotImplementedError(
                 f"wildcard receive cannot match rendezvous transport "

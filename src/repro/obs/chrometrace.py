@@ -146,6 +146,41 @@ def to_trace_events(records: Iterable[TraceRecord]) -> list[dict]:
                         "args": {"detail": list(rest)},
                     }
                 )
+        elif r.category == "policy":
+            # One instant per policy decision, on the sending rank's
+            # timeline: which scheme this message was dispatched onto.
+            src, dst, scheme, nbytes = r.payload
+            pid, tid = PID_RANKS, int(src)
+            pids_seen.add(pid)
+            events.append(
+                {
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "name": f"policy.{scheme}",
+                    "cat": r.category,
+                    "s": "t",
+                    "args": {"src": int(src), "dst": int(dst), "bytes": int(nbytes)},
+                }
+            )
+        elif r.category == "sched":
+            # Host request-scheduler events, on the device's host thread.
+            device, phase, *rest = r.payload
+            pid, tid = PID_HOST, int(device)
+            pids_seen.add(pid)
+            events.append(
+                {
+                    "ph": "i",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "name": f"sched.{phase}",
+                    "cat": r.category,
+                    "s": "t",
+                    "args": {"detail": list(rest)},
+                }
+            )
         else:
             # Unknown categories stay visible as host-lane instants.
             pids_seen.add(PID_HOST)

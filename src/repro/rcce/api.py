@@ -169,8 +169,15 @@ class Rcce:
             raise ValueError("a rank cannot send to itself")
         self.layout.record_traffic(self.rank, dest, len(payload))
         self.sends += 1
-        transport = self.selector.select(self, dest, len(payload))
-        yield from transport.send(self, dest, payload)
+        transport = self.selector.select(self, dest, len(payload), op="send")
+        if self.selector.wants_feedback:
+            started = self.env.sim.now
+            yield from transport.send(self, dest, payload)
+            self.selector.observe_send(
+                self, dest, len(payload), transport, self.env.sim.now - started
+            )
+        else:
+            yield from transport.send(self, dest, payload)
 
     def recv(self, nbytes: int, src: int) -> Generator:
         """Blocking receive of exactly ``nbytes``; returns a uint8 array.
@@ -191,7 +198,7 @@ class Rcce:
         if nbytes < 0:
             raise ValueError(f"negative receive size {nbytes}")
         self.recvs += 1
-        transport = self.selector.select(self, src, nbytes)
+        transport = self.selector.select(self, src, nbytes, op="recv")
         data = yield from transport.recv(self, src, nbytes)
         return data
 

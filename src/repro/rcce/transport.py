@@ -46,12 +46,37 @@ class TransportSelector(abc.ABC):
 
     Selection may only depend on information both sides share: the rank
     layout, the message size and the system-wide configuration — never
-    on one side's private state.
+    on one side's private state. Stateful (policy-driven) selectors keep
+    the agreement via a decision journal; ``op`` tells such a selector
+    which side of the message is asking, and ``probe`` marks a
+    speculative lookup (wildcard-receive matching) that must not consume
+    a journal slot.
     """
 
+    #: Whether the communicator should time completed sends and call
+    #: :meth:`observe_send` — only feedback-driven selectors pay for it.
+    wants_feedback = False
+
     @abc.abstractmethod
-    def select(self, comm: "Rcce", peer: int, nbytes: int) -> Transport:
+    def select(
+        self,
+        comm: "Rcce",
+        peer: int,
+        nbytes: int,
+        op: str = "send",
+        probe: bool = False,
+    ) -> Transport:
         ...
+
+    def observe_send(
+        self,
+        comm: "Rcce",
+        peer: int,
+        nbytes: int,
+        transport: Transport,
+        elapsed_ns: float,
+    ) -> None:
+        """Feedback hook: one completed send's transport and duration."""
 
 
 class DefaultGetTransport(Transport):
@@ -158,7 +183,14 @@ class OnChipSelector(TransportSelector):
         self._default = DefaultGetTransport()
         self._pipelined = PipelinedTransport(packet_bytes=options.pipeline_packet)
 
-    def select(self, comm: "Rcce", peer: int, nbytes: int) -> Transport:
+    def select(
+        self,
+        comm: "Rcce",
+        peer: int,
+        nbytes: int,
+        op: str = "send",
+        probe: bool = False,
+    ) -> Transport:
         if not comm.layout.same_device(comm.rank, peer):
             raise RuntimeError(
                 "this session spans multiple devices but was built with the "

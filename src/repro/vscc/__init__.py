@@ -3,8 +3,16 @@
 Public surface::
 
     from repro.vscc import VSCCSystem, CommScheme, VsccTopology
+    from repro.vscc import StaticPolicy, ThresholdPolicy, AdaptivePolicy
 """
 
+from .policy import (
+    AdaptivePolicy,
+    Route,
+    SchemePolicy,
+    StaticPolicy,
+    ThresholdPolicy,
+)
 from .protocol import (
     DirectSmallTransport,
     RemotePutTransport,
@@ -16,11 +24,16 @@ from .system import RunResult, VSCCSystem
 from .topology import VsccTopology
 
 __all__ = [
+    "AdaptivePolicy",
     "CommScheme",
     "DIRECT_THRESHOLD",
     "DirectSmallTransport",
     "RemotePutTransport",
+    "Route",
     "RunResult",
+    "SchemePolicy",
+    "StaticPolicy",
+    "ThresholdPolicy",
     "VSCCSystem",
     "VdmaTransport",
     "VsccSelector",

@@ -26,7 +26,8 @@ from repro.rcce.flags import SLOT_VDMA_DONE, reached
 from repro.rcce.transport import DefaultGetTransport, Transport, TransportSelector
 from repro.scc.params import CACHE_LINE
 
-from .schemes import CommScheme, DIRECT_THRESHOLD
+from .policy import Route, SchemePolicy, StaticPolicy
+from .schemes import CommScheme
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.host.driver import Host
@@ -440,41 +441,101 @@ class DirectSmallTransport(Transport):
         return out
 
 
+#: Journal prefix length both sides must have consumed before pruning.
+_JOURNAL_PRUNE = 256
+
+
 class VsccSelector(TransportSelector):
     """Scheme-aware selector for multi-device sessions.
 
     On-chip pairs use RCCE's default protocol (or iRCCE's pipelined one
-    above the 4 kB threshold when configured); cross-device pairs use
-    the configured scheme, falling back to the direct path below the
-    scheme's small-message threshold.
+    above the 4 kB threshold when configured); cross-device pairs are
+    dispatched per message by the :class:`~repro.vscc.policy.SchemePolicy`
+    — every scheme a policy may return gets its transport built up front
+    and held concurrently — falling back to the direct path below the
+    chosen scheme's small-message threshold (§3.3).
+
+    **Agreement journal.** Both end points of a message must pick the
+    same transport, but a stateful policy may evolve between the
+    sender's and the receiver's ``select`` calls. The selector therefore
+    journals decisions per directed pair: the first ``select`` for
+    message *i* on pair (src → dst) asks the policy once and records
+    the answer; the other side's ``select`` for its message *i* replays
+    it. Send and receive consume the journal through independent
+    cursors, so whichever side runs first the pairing is by message
+    index — exactly the per-pair FIFO order both sides already share.
+    A run-static policy (``StaticPolicy``) skips the journal entirely
+    and keeps the historic single-transport fast path, bit for bit.
     """
 
     def __init__(
         self,
         host: "Host",
-        scheme: CommScheme,
+        policy,
         options: "RcceOptions",
         direct_threshold: Optional[int] = None,
         announce_prefetch: bool = True,
         vdma_fused_mmio: bool = True,
     ):
+        if isinstance(policy, CommScheme):
+            policy = StaticPolicy(policy)
+        if not isinstance(policy, SchemePolicy):
+            raise TypeError(
+                f"policy must be a SchemePolicy or CommScheme, got {policy!r}"
+            )
         self.host = host
-        self.scheme = scheme
+        self.policy = policy
+        #: The run-static scheme, or ``None`` under a dynamic policy.
+        self.scheme = policy.static_scheme
         self.options = options
         self.announce_prefetch = announce_prefetch
         self.vdma_fused_mmio = vdma_fused_mmio
-        self.direct_threshold = (
-            DIRECT_THRESHOLD[scheme] if direct_threshold is None else direct_threshold
-        )
-        if self.direct_threshold and not host.extensions_enabled:
-            self.direct_threshold = 0
+        if direct_threshold is not None and self.scheme is None:
+            raise ValueError(
+                "direct_threshold override needs a static scheme; dynamic "
+                "policies carry per-scheme thresholds"
+            )
+        self._thresholds: dict[CommScheme, int] = {}
+        for scheme in policy.schemes:
+            thr = (
+                scheme.direct_threshold
+                if direct_threshold is None
+                else direct_threshold
+            )
+            self._thresholds[scheme] = thr if host.extensions_enabled else 0
         self._onchip_default = DefaultGetTransport()
         self._onchip_pipelined = PipelinedTransport(packet_bytes=options.pipeline_packet)
         self._direct = DirectSmallTransport()
-        self._cross = self._build_cross(scheme)
+        #: Every transport the policy may dispatch onto, built up front
+        #: and held concurrently (per-route, per-message dispatch).
+        self._transports: dict[CommScheme, Transport] = {
+            scheme: self._build_cross(scheme) for scheme in policy.schemes
+        }
+        self._scheme_of = {
+            id(transport): scheme for scheme, transport in self._transports.items()
+        }
+        if self.scheme is not None:
+            self.direct_threshold = self._thresholds[self.scheme]
+            self._cross = self._transports[self.scheme]
+        else:
+            self.direct_threshold = max(self._thresholds.values(), default=0)
+            self._cross = None
+        #: Decision journal of dynamic policies: directed pair → the
+        #: schemes chosen for its messages, in order.
+        self._journal: dict[tuple[int, int], list[CommScheme]] = {}
+        #: Per-(pair, op) cursor into the journal.
+        self._cursors: dict[tuple[int, int, str], int] = {}
+        self._routes: dict[tuple[int, int], Route] = {}
         #: Messages routed per transport name (selection happens once per
         #: send/recv, so counting here is off the byte-moving hot path).
         self.selections: dict[str, int] = {}
+        #: Policy decisions per scheme (one count per message).
+        self.decisions: dict[CommScheme, int] = {}
+        self._obs = None  # lazily resolved metrics registry
+
+    @property
+    def wants_feedback(self) -> bool:
+        return self.policy.wants_feedback
 
     def _build_cross(self, scheme: CommScheme) -> Transport:
         if scheme is CommScheme.TRANSPARENT:
@@ -498,22 +559,137 @@ class VsccSelector(TransportSelector):
         raise ValueError(f"unknown scheme {scheme}")  # pragma: no cover
 
     def metrics_snapshot(self) -> dict[str, float]:
-        """Selection counts, one series per transport name."""
-        return {
+        """Selection counts plus (dynamic policies) decision counts."""
+        snapshot = {
             f"scheme.selected{{transport={name}}}": float(count)
             for name, count in sorted(self.selections.items())
         }
+        for scheme, count in sorted(self.decisions.items(), key=lambda kv: kv[0].value):
+            snapshot[f"policy.decisions{{scheme={scheme.value}}}"] = float(count)
+        return snapshot
 
-    def select(self, comm: "Rcce", peer: int, nbytes: int) -> Transport:
+    # -- policy decision journal --------------------------------------------------
+
+    def _route(self, comm: "Rcce", src: int, dst: int) -> Route:
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            route = Route(
+                src_device=comm.layout.placement(src)[0],
+                dst_device=comm.layout.placement(dst)[0],
+                chunk_bytes=comm.comm_buffer_bytes,
+            )
+            self._routes[key] = route
+        return route
+
+    def _decide(
+        self, comm: "Rcce", peer: int, nbytes: int, op: str, probe: bool
+    ) -> CommScheme:
+        """One journaled policy decision for this message.
+
+        Probes (wildcard-receive matching) read — and, for a not yet
+        decided message, make and record — the decision without moving
+        a cursor: the eventual real ``select`` replays it.
+        """
+        if op == "send":
+            src, dst = comm.rank, peer
+        else:
+            src, dst = peer, comm.rank
+        pair = (src, dst)
+        decisions = self._journal.get(pair)
+        if decisions is None:
+            decisions = self._journal[pair] = []
+        cursor_key = (src, dst, op)
+        index = self._cursors.get(cursor_key, 0)
+        if index < len(decisions):
+            scheme = decisions[index]
+        else:
+            route = self._route(comm, src, dst)
+            scheme = self.policy.choose(src, dst, nbytes, route)
+            if scheme not in self._transports:
+                raise ValueError(
+                    f"policy {self.policy.name!r} chose {scheme} which is not "
+                    f"in its declared scheme set {self.policy.schemes}"
+                )
+            decisions.append(scheme)
+            self.decisions[scheme] = self.decisions.get(scheme, 0) + 1
+            tracer = comm.env.device.tracer
+            if tracer.wants("policy"):
+                tracer.emit(
+                    comm.env.sim.now, "policy", src, dst, scheme.value, nbytes
+                )
+        if not probe:
+            self._cursors[cursor_key] = index + 1
+            if index + 1 >= _JOURNAL_PRUNE:
+                self._prune(pair)
+        return scheme
+
+    def _prune(self, pair: tuple[int, int]) -> None:
+        """Drop the journal prefix both cursors have consumed."""
+        send_key = (pair[0], pair[1], "send")
+        recv_key = (pair[0], pair[1], "recv")
+        done = min(self._cursors.get(send_key, 0), self._cursors.get(recv_key, 0))
+        if done:
+            del self._journal[pair][:done]
+            self._cursors[send_key] -= done
+            self._cursors[recv_key] -= done
+
+    # -- feedback ------------------------------------------------------------------
+
+    def observe_send(
+        self,
+        comm: "Rcce",
+        peer: int,
+        nbytes: int,
+        transport: Transport,
+        elapsed_ns: float,
+    ) -> None:
+        """Feed one completed send back to a feedback-driven policy."""
+        scheme = self._scheme_of.get(id(transport))
+        if scheme is None:  # on-chip or direct path: not a scheme sample
+            return
+        route = self._route(comm, comm.rank, peer)
+        self.policy.observe(route, scheme, nbytes, elapsed_ns)
+        registry = self._obs
+        if registry is None:
+            from repro.obs.metrics import registry_for
+
+            registry = self._obs = registry_for(self.host.sim)
+        if registry.enabled and elapsed_ns > 0:
+            registry.gauge(
+                "policy.route_mbps",
+                src=route.src_device,
+                dst=route.dst_device,
+                scheme=scheme.value,
+            ).set(nbytes / elapsed_ns * 1e3)
+
+    # -- selection ----------------------------------------------------------------
+
+    def select(
+        self,
+        comm: "Rcce",
+        peer: int,
+        nbytes: int,
+        op: str = "send",
+        probe: bool = False,
+    ) -> Transport:
         if comm.layout.same_device(comm.rank, peer):
             if self.options.pipelined and nbytes > self.options.pipeline_threshold:
                 chosen = self._onchip_pipelined
             else:
                 chosen = self._onchip_default
-        elif self.host.extensions_enabled and nbytes <= self.direct_threshold:
-            chosen = self._direct
+        elif self._cross is not None:
+            # Run-static policy: the historic single-transport fast path.
+            if self.host.extensions_enabled and nbytes <= self.direct_threshold:
+                chosen = self._direct
+            else:
+                chosen = self._cross
         else:
-            chosen = self._cross
+            scheme = self._decide(comm, peer, nbytes, op, probe)
+            if self.host.extensions_enabled and nbytes <= self._thresholds[scheme]:
+                chosen = self._direct
+            else:
+                chosen = self._transports[scheme]
         name = chosen.name
         self.selections[name] = self.selections.get(name, 0) + 1
         return chosen

@@ -20,7 +20,10 @@ pushes the payload itself and skips the setup costs.
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Mapping
 from enum import Enum
+from typing import Iterator
 
 __all__ = ["CommScheme", "DIRECT_THRESHOLD"]
 
@@ -51,13 +54,50 @@ class CommScheme(Enum):
     def stable_beyond_two_devices(self) -> bool:
         return not self.uses_fast_write_ack
 
+    @property
+    def direct_threshold(self) -> int:
+        """Direct-transfer threshold, bytes (§3.3): below it a core
+        pushes the payload itself and skips the scheme's setup costs.
+        Schemes without the communication-task extensions have none."""
+        return _DIRECT_THRESHOLDS[self]
 
-#: Direct-transfer threshold per scheme, bytes (§3.3). Schemes without
-#: the extensions have no direct path.
-DIRECT_THRESHOLD: dict[CommScheme, int] = {
+
+#: Single source of truth behind :attr:`CommScheme.direct_threshold`.
+_DIRECT_THRESHOLDS: dict[CommScheme, int] = {
     CommScheme.TRANSPARENT: 0,
     CommScheme.REMOTE_PUT_WCB: 32,
     CommScheme.LOCAL_PUT_REMOTE_GET: 64,
     CommScheme.LOCAL_PUT_LOCAL_GET_VDMA: 128,
     CommScheme.HW_ACCEL_REMOTE_PUT: 0,
 }
+
+
+class _DeprecatedThresholds(Mapping):
+    """Read-only view kept for the historic ``DIRECT_THRESHOLD`` dict.
+
+    Every access warns once per call site style; the values come from
+    :attr:`CommScheme.direct_threshold` so the two can never diverge.
+    """
+
+    _WHAT = (
+        "DIRECT_THRESHOLD is deprecated; use CommScheme.direct_threshold"
+    )
+
+    def __getitem__(self, scheme: CommScheme) -> int:
+        warnings.warn(self._WHAT, DeprecationWarning, stacklevel=2)
+        return _DIRECT_THRESHOLDS[scheme]
+
+    def __iter__(self) -> Iterator[CommScheme]:
+        warnings.warn(self._WHAT, DeprecationWarning, stacklevel=2)
+        return iter(_DIRECT_THRESHOLDS)
+
+    def __len__(self) -> int:
+        return len(_DIRECT_THRESHOLDS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DIRECT_THRESHOLD({_DIRECT_THRESHOLDS!r})"
+
+
+#: Deprecated alias for the per-scheme thresholds; prefer
+#: :attr:`CommScheme.direct_threshold`.
+DIRECT_THRESHOLD = _DeprecatedThresholds()

@@ -43,6 +43,7 @@ from repro.scc.params import SCCParams
 from repro.sim.engine import Process, Simulator
 from repro.sim.trace import Tracer
 
+from .policy import SchemePolicy, StaticPolicy
 from .protocol import VsccSelector
 from .schemes import CommScheme
 from .topology import VsccTopology
@@ -53,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["RunResult", "VSCCSystem"]
 
 #: Trace categories recorded when ``run(trace_json=...)`` is used.
-TRACE_CATEGORIES = ("protocol", "vdma", "faults")
+TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched")
 
 
 @dataclass(frozen=True)
@@ -90,7 +91,7 @@ class VSCCSystem:
     def __init__(
         self,
         num_devices: int = 5,
-        scheme: CommScheme = CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        scheme: Optional[CommScheme] = None,
         params: Optional[SCCParams] = None,
         pcie_params: Optional[PCIeParams] = None,
         host_params: Optional[HostParams] = None,
@@ -103,10 +104,23 @@ class VSCCSystem:
         announce_prefetch: bool = True,
         vdma_fused_mmio: bool = True,
         fault_plan: Optional["FaultPlan"] = None,
+        policy: Optional[SchemePolicy] = None,
     ):
         if num_devices < 1:
             raise ValueError("need at least one device")
-        self.scheme = scheme
+        if policy is None:
+            policy = StaticPolicy(
+                CommScheme.LOCAL_PUT_LOCAL_GET_VDMA if scheme is None else scheme
+            )
+        elif scheme is not None:
+            raise ValueError(
+                "pass either scheme= (sugar for StaticPolicy) or policy=, not both"
+            )
+        elif not isinstance(policy, SchemePolicy):
+            raise TypeError(f"policy must be a SchemePolicy, got {policy!r}")
+        #: The run-static scheme, or ``None`` under a dynamic policy.
+        self.scheme = policy.static_scheme
+        self.policy = policy
         self.params = params or SCCParams()
         self.options = options or RcceOptions()
         self.sim = Simulator()
@@ -123,10 +137,13 @@ class VSCCSystem:
             self.devices,
             pcie_params=pcie_params,
             host_params=host_params,
-            extensions_enabled=scheme.needs_extensions,
-            fast_write_ack=scheme.uses_fast_write_ack,
+            extensions_enabled=any(s.needs_extensions for s in policy.schemes),
+            fast_write_ack=any(s.uses_fast_write_ack for s in policy.schemes),
             allow_unstable=allow_unstable,
         )
+        # Dynamic policies opt the host scheduler into vDMA descriptor
+        # coalescing; static runs keep the historic timing bit-identical.
+        self.host.sched_coalesce = policy.coalesce_vdma
         # §3.1: every rank registers its buffer/flag regions with the task.
         for device in self.devices:
             for core in device.available_cores:
@@ -137,7 +154,7 @@ class VSCCSystem:
         self.topology = VsccTopology(self.layout, self.params)
         self.selector = VsccSelector(
             self.host,
-            scheme,
+            policy,
             self.options,
             direct_threshold=direct_threshold,
             announce_prefetch=announce_prefetch,
@@ -244,11 +261,15 @@ class VSCCSystem:
         ranks: Optional[Sequence[int]] = None,
         until: Optional[float] = None,
     ) -> dict[int, object]:
-        """Spawn, run to completion, and return per-rank results.
+        """Deprecated: use :meth:`run` and read ``RunResult.results``."""
+        import warnings
 
-        Thin shim over :meth:`run` kept for existing callers; new code
-        should use ``run`` and read ``RunResult.results``.
-        """
+        warnings.warn(
+            "VSCCSystem.launch() is deprecated; use run() and read "
+            "RunResult.results",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.run(program, ranks=ranks, until=until).results
 
     # -- stats ----------------------------------------------------------------------------

@@ -23,7 +23,10 @@ def run_adi(session, nranks, n, steps):
     bench = BTBenchmark(
         clazz=BTClass("mini", n, steps, 0.01), nranks=nranks, niter=steps, mode="adi"
     )
-    results = session.launch(bench.program, ranks=range(nranks))
+    if hasattr(session, "run"):
+        results = session.run(bench.program, ranks=range(nranks)).results
+    else:
+        results = session.launch(bench.program, ranks=range(nranks))
     return assemble(bench, results)
 
 

@@ -51,7 +51,7 @@ def test_cross_device_run_and_traffic():
     bench = BTBenchmark(clazz="S", nranks=16, niter=1, mode="model")
     system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
     # spread over both devices by using ranks 40..55
-    system.launch(bench.program, ranks=range(16))
+    system.run(bench.program, ranks=range(16))
     result = bench.result()
     assert result.nranks == 16
     matrix = system.traffic_matrix()

@@ -183,3 +183,51 @@ def test_bt_completes_under_global_loss():
     assert totals["faults.retries"] > 0
     assert totals["faults.lost"] == 0
     _assert_accounting(totals)
+
+
+# -- PR 4: faults compose with policy-mixed schemes --------------------------------
+
+
+def _policy_system(plan=None):
+    from repro.vscc.policy import ThresholdPolicy
+
+    return VSCCSystem(num_devices=2, policy=ThresholdPolicy(), fault_plan=plan)
+
+
+def test_lossy_link_under_threshold_policy_mixed_schemes():
+    """The retry layer is scheme-agnostic: one run whose messages ride
+    both the cached-get and the vDMA transports (ThresholdPolicy bands)
+    stays exactly-once under a lossy link."""
+    plan = FaultPlan.lossy(1e-3, link="pcie1.down", seed=2)
+    system = _policy_system(plan)
+    # Sizes straddle the cutover: 256/2048 → cached-get, 16384/65536 → vDMA.
+    points = run_pingpong(system, 0, 48, sizes=PINGPONG_SIZES, iterations=3)
+    assert len(points) == len(PINGPONG_SIZES)  # verify=True checked payloads
+    metrics = system.metrics
+    assert metrics["policy.decisions{scheme=cached-get}"] > 0
+    assert metrics["policy.decisions{scheme=vdma}"] > 0
+    totals = system.fault_injector.totals()
+    assert totals["faults.retries"] > 0
+    assert totals["faults.lost"] == 0
+    assert system.fault_injector.degraded_devices == ()
+    _assert_accounting(totals)
+
+
+def test_quarantine_fires_under_threshold_policy():
+    """A dead device exhausts the retry budget and is quarantined even
+    when the run mixes schemes per message (acceptance criterion)."""
+    plan = FaultPlan(
+        seed=11,
+        devices={1: DeviceFaults(dead_at_ns=400_000.0)},
+        on_exhaust="reset",
+        retry_timeout_ns=10_000.0,
+        backoff_ns=5_000.0,
+    )
+    system = _policy_system(plan)
+    points = run_pingpong(system, 0, 48, sizes=(1024, 8192), iterations=2)
+    assert len(points) == 2
+    totals = system.fault_injector.totals()
+    assert totals["faults.resets"] >= 1
+    assert system.fault_injector.degraded_devices == (1,)
+    assert system.fault_injector.quarantined[1] == "reset"
+    _assert_accounting(totals)

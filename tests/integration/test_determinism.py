@@ -29,7 +29,7 @@ def _run_vdma_program():
             data = yield from comm.recv(6000, 0)
             yield from comm.send(data[:64], 0)
 
-    system.launch(program, ranks=[0, 52])
+    system.run(program, ranks=[0, 52])
     assert (got["back"] == payload[:64]).all()
     return {
         "now": system.sim.now,

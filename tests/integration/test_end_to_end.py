@@ -22,7 +22,7 @@ def test_240_core_system_boots_and_talks():
         elif comm.rank == 239:
             got["data"] = yield from comm.recv(3000, 0)
 
-    system.launch(program, ranks=[0, 239])
+    system.run(program, ranks=[0, 239])
     assert (got["data"] == payload).all()
     # ranks 0 and 239 sit on the first and last device
     assert system.topology.xyz(0)[2] == 0
@@ -48,7 +48,7 @@ def test_all_to_one_gather_across_devices():
 
     # place ranks across devices: use every 10th rank of the layout
     ranks = list(range(nranks))
-    system.launch(program, ranks=ranks)
+    system.run(program, ranks=ranks)
     assert got["total"] == sum(range(1, nranks))
 
 
@@ -62,7 +62,7 @@ def test_collectives_spanning_devices():
         result = yield from comm.allreduce(value, np.add)
         got[comm.rank] = result[0]
 
-    system.launch(program)
+    system.run(program)
     expected = n * (n - 1) / 2
     assert all(v == pytest.approx(expected) for v in got.values())
 
@@ -86,5 +86,5 @@ def test_bt_on_faulty_system():
 
     usable = math.isqrt(system.num_ranks) ** 2
     bench = BTBenchmark(clazz="S", nranks=usable, niter=1, mode="model")
-    system.launch(bench.program, ranks=range(usable))
+    system.run(bench.program, ranks=range(usable))
     assert bench.result().gflops_per_s > 0

@@ -17,7 +17,7 @@ def test_lost_flag_deadlocks_loudly():
         yield from comm.recv(100, 48)
 
     with pytest.raises(DeadlockError, match="rank0"):
-        system.launch(program, ranks=[0])
+        system.run(program, ranks=[0])
 
 
 def test_mismatched_sizes_detected():
@@ -32,7 +32,7 @@ def test_mismatched_sizes_detected():
             yield from comm.recv(100, 0)  # wrong size
 
     with pytest.raises((DeadlockError, ProcessFailed, AssertionError)):
-        system.launch(program, ranks=[0, 1])
+        system.run(program, ranks=[0, 1])
 
 
 def test_send_to_dead_core_rejected():
@@ -81,4 +81,4 @@ def test_vdma_programming_without_extensions_fails():
         yield from comm.env.mmio_write(0x0, 0)
 
     with pytest.raises(Exception, match="extensions"):
-        system.launch(program, ranks=[0])
+        system.run(program, ranks=[0])

@@ -57,7 +57,7 @@ def test_280_messages_cross_device_vdma():
                 data = yield from comm.recv(200, 0)
                 got.append(int(data[0]))
 
-    system.launch(program, ranks=[0, 48])
+    system.run(program, ranks=[0, 48])
     assert got == [i % 256 for i in range(280)]
 
 
@@ -77,5 +77,5 @@ def test_mixed_sizes_alternate_transports_cross_device():
                 data = yield from comm.recv(size, 0)
                 got.append((int(data[0]), len(data)))
 
-    system.launch(program, ranks=[0, 48])
+    system.run(program, ranks=[0, 48])
     assert got == [(i % 256, size) for i, size in enumerate(sizes)]

@@ -165,7 +165,7 @@ def test_recv_any_source_rejects_rendezvous_transport():
         yield from recv_any_source(comm, 5000, [48])
 
     with pytest.raises(Exception, match="rendezvous"):
-        system.launch(program, ranks=[0])
+        system.run(program, ranks=[0])
 
 
 def test_recv_any_source_works_on_cached_scheme():
@@ -184,5 +184,5 @@ def test_recv_any_source_works_on_cached_scheme():
         elif comm.rank == 49:
             yield from comm.send(bytes([49 % 251]) * 2000, 0)
 
-    system.launch(program, ranks=[0, 49])
+    system.run(program, ranks=[0, 49])
     assert got["src"] == 49 and got["ok"]

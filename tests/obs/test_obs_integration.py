@@ -47,7 +47,8 @@ def test_run_returns_runresult_with_core_metrics():
 
 def test_launch_shim_matches_run_results():
     system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
-    results = system.launch(_transfer, ranks=[0, 48])
+    with pytest.warns(DeprecationWarning, match="launch"):
+        results = system.launch(_transfer, ranks=[0, 48])
     assert results[48] == bytes(np.arange(NBYTES, dtype=np.uint8) % 251)
 
 

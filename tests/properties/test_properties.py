@@ -226,7 +226,7 @@ def test_random_payload_crosses_devices_intact(size, scheme_value, seed):
         elif comm.rank == 48:
             got["data"] = yield from comm.recv(size, 0)
 
-    system.launch(program, ranks=[0, 48])
+    system.run(program, ranks=[0, 48])
     assert bytes(got["data"]) == payload.tobytes()
 
 

@@ -20,7 +20,7 @@ def test_split_by_device():
         # a barrier inside the group must not involve the other device
         yield from group.barrier()
 
-    system.launch(program)
+    system.run(program)
     assert got[0] == (0, 48, (0, 1))
     assert got[48] == (0, 48, (48, 49))
     assert got[95][1] == 48
@@ -38,7 +38,7 @@ def test_split_key_orders_members():
         )
         got[comm.rank] = group.rank
 
-    system.launch(program, ranks=range(4))
+    system.run(program, ranks=range(4))
     # reversed key order: global rank 3 becomes group rank 0
     assert got == {0: 3, 1: 2, 2: 1, 3: 0}
 
@@ -54,7 +54,7 @@ def test_negative_color_returns_none():
         group = yield from comm_split(comm, color=color, key=0, group_size=3)
         got[comm.rank] = None if group is None else group.size
 
-    system.launch(program, ranks=range(3))
+    system.run(program, ranks=range(3))
     assert got[1] is None
     assert got[0] == got[2] == 2
 
@@ -75,7 +75,7 @@ def test_group_collectives_and_p2p():
             data = yield from group.recv(2, 0)
             got["p2p"] = bytes(data)
 
-    system.launch(program, ranks=[2, 50, 7])
+    system.run(program, ranks=[2, 50, 7])
     assert got["sum"] == pytest.approx(3.0)
     assert got["p2p"] == b"hi"
 

@@ -22,7 +22,7 @@ def exchange(system, a, b, size):
             data = yield from comm.recv(size, peer)
             yield from comm.send(data, peer)
 
-    system.launch(program, ranks=[a, b])
+    system.run(program, ranks=[a, b])
     assert bytes(got["back"]) == payload.tobytes()
 
 
@@ -54,7 +54,7 @@ def test_three_devices_vdma_chain():
         elif comm.rank == 96:
             got["data"] = yield from comm.recv(9000, 48)
 
-    system.launch(program, ranks=[0, 48, 96])
+    system.run(program, ranks=[0, 48, 96])
     assert (got["data"] == payload).all()
 
 
@@ -72,7 +72,7 @@ def test_concurrent_cross_device_pairs():
             elif comm.rank == b:
                 got[b] = yield from comm.recv(6000, a)
 
-    system.launch(program, ranks=[r for pair in pairs for r in pair])
+    system.run(program, ranks=[r for pair in pairs for r in pair])
     for a, b in pairs:
         assert bytes(got[b]) == bytes([a]) * 6000
 
@@ -92,7 +92,7 @@ def test_bidirectional_same_pair_cross_device():
             got[48] = yield from comm.recv(9000, peer)
             yield from comm.send(mine, peer)
 
-    system.launch(program, ranks=[0, 48])
+    system.run(program, ranks=[0, 48])
     assert bytes(got[0]) == bytes([49]) * 9000
     assert bytes(got[48]) == bytes([1]) * 9000
 

@@ -32,11 +32,17 @@ def test_hw_accel_refused_on_five_devices():
 
 def test_thresholds_in_paper_range():
     """§3.3: 'about 32 B to 128 B dependent on the communication scheme'."""
-    for scheme, threshold in DIRECT_THRESHOLD.items():
+    for scheme in CommScheme:
         if scheme.needs_extensions:
-            assert 32 <= threshold <= 128
+            assert 32 <= scheme.direct_threshold <= 128
         else:
-            assert threshold == 0
+            assert scheme.direct_threshold == 0
+
+
+def test_direct_threshold_dict_alias_warns():
+    with pytest.warns(DeprecationWarning, match="direct_threshold"):
+        legacy = DIRECT_THRESHOLD[CommScheme.REMOTE_PUT_WCB]
+    assert legacy == CommScheme.REMOTE_PUT_WCB.direct_threshold
 
 
 def test_selector_picks_by_locality_and_size():

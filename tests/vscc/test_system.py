@@ -50,7 +50,8 @@ def test_launch_subset_and_results():
         yield from comm.env.compute(cycles=1)
         return comm.rank
 
-    results = system.launch(program, ranks=[0, 90])
+    with pytest.warns(DeprecationWarning, match="launch"):
+        results = system.launch(program, ranks=[0, 90])
     assert results == {0: 0, 90: 90}
 
 
