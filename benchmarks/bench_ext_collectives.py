@@ -5,6 +5,13 @@ neighbor pattern hides the z direction well; a global ``allreduce``
 cannot. This bench measures barrier and allreduce cost as the group
 grows from one device to five — quantifying how much the single
 physical link per device (§3) taxes global synchronization.
+
+The ablation half compares the flat binomial collectives against the
+two-level (topology-aware) implementation at 1–5 devices: the flat tree
+scatters O(log n) of its edges across PCIe wherever virtual-rank
+neighbors land on different devices, while the hierarchical tree pays
+exactly the leader-to-leader edges — O(num_devices) crossings, however
+the group is laid out.
 """
 
 from repro.bench import format_table
@@ -37,6 +44,47 @@ def _collective_cost(num_devices: int, nranks: int):
     return times
 
 
+def _ablation_cost(num_devices: int, members):
+    """barrier/allreduce time and PCIe crossing count, flat vs two-level.
+
+    Crossings are counted as *directed cross-device (src, dst) pairs*
+    that carried traffic during the phase — the number of distinct PCIe
+    routes the collective exercised, the quantity the two-level design
+    argues about.
+    """
+    results = {}
+    for impl, hier in (("flat", False), ("hier", True)):
+        # Fresh system per implementation so the crossing count is the
+        # routes *this* tree shape exercises, not a diff against the
+        # other's footprint.
+        system = VSCCSystem(
+            num_devices=num_devices, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+        )
+        topo = system.topology
+        times = {}
+
+        def program(comm):
+            yield from comm.barrier(members=members, hierarchical=hier)
+            t0 = comm.env.sim.now
+            yield from comm.barrier(members=members, hierarchical=hier)
+            t1 = comm.env.sim.now
+            yield from comm.allreduce(
+                np.arange(64.0), np.add, members=members, hierarchical=hier
+            )
+            t2 = comm.env.sim.now
+            if comm.rank == members[0]:
+                times["barrier"] = t1 - t0
+                times["allreduce"] = t2 - t1
+
+        system.run(program, ranks=members)
+        times["pairs"] = sum(
+            1 for (src, dst) in system.layout.traffic
+            if topo.is_cross_device(src, dst)
+        )
+        results[impl] = times
+    return results
+
+
 def test_collectives_across_devices(benchmark, once):
     configs = [(1, 48), (2, 96), (5, 240)]
 
@@ -63,3 +111,87 @@ def test_collectives_across_devices(benchmark, once):
     # extra tree level.
     assert results[2]["barrier"] > 2.0 * results[1]["barrier"]
     assert results[5]["barrier"] > results[2]["barrier"]
+
+
+def test_flat_vs_hierarchical_ablation(benchmark, once):
+    """Flat vs two-level collectives, 1–5 devices, full machine."""
+    configs = [(nd, nd * 48) for nd in (1, 2, 3, 4, 5)]
+
+    def run():
+        return {
+            nd: _ablation_cost(nd, list(range(nr))) for nd, nr in configs
+        }
+
+    results = once(run)
+    print()
+    print(
+        format_table(
+            ["devices", "ranks", "impl", "barrier us", "allreduce us", "pcie pairs"],
+            [
+                (nd, nr, impl,
+                 round(results[nd][impl]["barrier"] / 1000, 1),
+                 round(results[nd][impl]["allreduce"] / 1000, 1),
+                 results[nd][impl]["pairs"])
+                for nd, nr in configs
+                for impl in ("flat", "hier")
+            ],
+        )
+    )
+    record(
+        benchmark,
+        barrier_speedup_5dev=round(
+            results[5]["flat"]["barrier"] / results[5]["hier"]["barrier"], 3
+        ),
+        allreduce_speedup_5dev=round(
+            results[5]["flat"]["allreduce"] / results[5]["hier"]["allreduce"], 3
+        ),
+        pairs={nd: (r["flat"]["pairs"], r["hier"]["pairs"])
+               for nd, r in results.items()},
+    )
+    # On one device the two implementations are the same tree.
+    assert results[1]["hier"]["pairs"] == results[1]["flat"]["pairs"] == 0
+    # The two-level tree crosses PCIe on fewer directed routes, and at
+    # full scale that buys back real simulated time on both collectives.
+    for nd in (2, 3, 4, 5):
+        assert results[nd]["hier"]["pairs"] <= results[nd]["flat"]["pairs"]
+    assert results[5]["hier"]["barrier"] < results[5]["flat"]["barrier"]
+    assert results[5]["hier"]["allreduce"] < results[5]["flat"]["allreduce"]
+
+
+def test_hierarchical_immune_to_member_permutation(benchmark, once):
+    """A scattered ``members=`` order shreds the flat tree's locality —
+    virtual-rank neighbors land on different devices, so nearly every
+    tree edge crosses PCIe. The two-level tree regroups by device first
+    and keeps its O(num_devices) leader edges regardless of order."""
+
+    def run():
+        members = [(i * 53) % 240 for i in range(240)]  # stride permutation
+        return _ablation_cost(5, members)
+
+    results = once(run)
+    print()
+    print(
+        format_table(
+            ["impl", "barrier us", "allreduce us", "pcie pairs"],
+            [
+                (impl,
+                 round(results[impl]["barrier"] / 1000, 1),
+                 round(results[impl]["allreduce"] / 1000, 1),
+                 results[impl]["pairs"])
+                for impl in ("flat", "hier")
+            ],
+        )
+    )
+    record(
+        benchmark,
+        barrier_speedup=round(
+            results["flat"]["barrier"] / results["hier"]["barrier"], 2
+        ),
+        pairs_flat=results["flat"]["pairs"],
+        pairs_hier=results["hier"]["pairs"],
+    )
+    # The permutation costs the flat tree an order of magnitude more
+    # distinct PCIe routes; the hierarchical tree doesn't notice.
+    assert results["flat"]["pairs"] > 10 * results["hier"]["pairs"]
+    assert results["hier"]["barrier"] < 0.5 * results["flat"]["barrier"]
+    assert results["hier"]["allreduce"] < 0.5 * results["flat"]["allreduce"]

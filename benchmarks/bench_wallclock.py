@@ -150,6 +150,50 @@ def policy_threshold_mixed() -> dict:
     }
 
 
+def coll_hier_allreduce() -> dict:
+    """Flat vs two-level allreduce/barrier on the five-device machine.
+
+    The fingerprint pins both phase durations (simulated ns) so a change
+    to either collective implementation — or to the scheme policy the
+    leader phase dispatches through — fails the gate loudly. The
+    hierarchical phase must stay faster than the flat one at full scale;
+    the gap *is* the PCIe-crossing argument of DESIGN.md §10.
+    """
+    from repro.vscc.schemes import CommScheme
+    from repro.vscc.system import VSCCSystem
+
+    import numpy as np
+
+    nranks = 240
+    phases = {}
+
+    def program(comm):
+        for impl, hier in (("flat", False), ("hier", True)):
+            yield from comm.barrier(group_size=nranks, hierarchical=hier)
+            t0 = comm.env.sim.now
+            yield from comm.barrier(group_size=nranks, hierarchical=hier)
+            t1 = comm.env.sim.now
+            yield from comm.allreduce(
+                np.arange(64.0), np.add, group_size=nranks, hierarchical=hier
+            )
+            t2 = comm.env.sim.now
+            if comm.rank == 0:
+                phases[f"{impl}_barrier_ns"] = t1 - t0
+                phases[f"{impl}_allreduce_ns"] = t2 - t1
+
+    system = VSCCSystem(
+        num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+    )
+    system.run(program, ranks=range(nranks))
+    assert phases["hier_barrier_ns"] < phases["flat_barrier_ns"]
+    assert phases["hier_allreduce_ns"] < phases["flat_allreduce_ns"]
+    return {
+        "sim_now_ns": system.sim.now,
+        "events": system.sim.events_processed,
+        **phases,
+    }
+
+
 def faults_lossy_pingpong() -> dict:
     """Cross-device ping-pong under a seeded lossy link plan.
 
@@ -224,6 +268,7 @@ SCENARIOS = {
     "fig7_bt": fig7_bt,
     "fig8_traffic": fig8_traffic,
     "policy_threshold_mixed": policy_threshold_mixed,
+    "coll_hier_allreduce": coll_hier_allreduce,
     "micro_spawn_delay": spawn_delay_churn,
     "micro_yield_float": yield_float_churn,
     "micro_zero_delay": zero_delay_churn,

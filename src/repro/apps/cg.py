@@ -21,7 +21,6 @@ from typing import Generator, Optional
 import numpy as np
 
 from repro.rcce.api import Rcce
-from repro.rcce import collectives
 
 __all__ = ["CGConfig", "cg_reference", "run_cg", "cg_program"]
 
@@ -34,6 +33,9 @@ class CGConfig:
     iterations: int = 25
     nranks: int = 4
     flops_per_cycle: float = 0.15
+    #: Route the dot-product allreduces through the two-level
+    #: (topology-aware) collectives instead of the flat binomial tree.
+    hierarchical: bool = False
 
     def __post_init__(self) -> None:
         if self.n < self.nranks:
@@ -72,6 +74,14 @@ def _tree_sum(values: list[float], n: int) -> float:
     return acc[0]
 
 
+def _grouped_tree_sum(values: list[float], groups: list[list[int]]) -> float:
+    """Sum in the two-level order of ``hierarchical.allreduce``: a
+    binomial fold inside each device subgroup (indices into ``values``,
+    leader first), then the binomial fold across the group leaders."""
+    leader_vals = [_tree_sum([values[i] for i in g], len(g)) for g in groups]
+    return _tree_sum(leader_vals, len(groups))
+
+
 def _rhs(config: CGConfig) -> np.ndarray:
     idx = np.arange(config.n, dtype=np.float64)
     gx, gy = np.meshgrid(idx, idx, indexing="ij")
@@ -84,8 +94,15 @@ def _row_span(config: CGConfig, rank: int) -> tuple[int, int]:
     return start, start + base + (1 if rank < extra else 0)
 
 
-def cg_reference(config: CGConfig) -> tuple[np.ndarray, float]:
+def cg_reference(
+    config: CGConfig, groups: Optional[list[list[int]]] = None
+) -> tuple[np.ndarray, float]:
     """Serial CG with the distributed run's exact reduction order.
+
+    ``groups`` replays a hierarchical run: the per-device partition of
+    the rank list (``VsccTopology.device_groups`` values, as rank
+    indices) the two-level allreduce folded over. Left ``None``, the
+    flat binomial order is replayed.
 
     Returns (solution, final residual norm²).
     """
@@ -95,11 +112,13 @@ def cg_reference(config: CGConfig) -> tuple[np.ndarray, float]:
         return [v[a:b] for a, b in spans]
 
     def dot(u: np.ndarray, v: np.ndarray) -> float:
-        return _tree_sum(
-            [float(np.dot(bu.ravel(), bv.ravel()))
-             for bu, bv in zip(blocks(u), blocks(v))],
-            config.nranks,
-        )
+        locals_ = [
+            float(np.dot(bu.ravel(), bv.ravel()))
+            for bu, bv in zip(blocks(u), blocks(v))
+        ]
+        if groups is not None:
+            return _grouped_tree_sum(locals_, groups)
+        return _tree_sum(locals_, config.nranks)
 
     b = _rhs(config)
     x = np.zeros_like(b)
@@ -162,8 +181,9 @@ def cg_program(config: CGConfig, results: dict):
 
         def dot(u: np.ndarray, v: np.ndarray) -> Generator:
             local = np.array([np.dot(u.ravel(), v.ravel())])
-            total = yield from collectives.allreduce(
-                comm, local, np.add, members=members
+            total = yield from comm.allreduce(
+                local, np.add, members=members,
+                hierarchical=config.hierarchical,
             )
             return float(total[0])
 

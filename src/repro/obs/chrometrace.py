@@ -164,6 +164,32 @@ def to_trace_events(records: Iterable[TraceRecord]) -> list[dict]:
                     "args": {"src": int(src), "dst": int(dst), "bytes": int(nbytes)},
                 }
             )
+        elif r.category == "coll":
+            # Collective spans on the calling rank's timeline: one X
+            # event per (rank, call) pairing the start/done marks the
+            # Rcce collective wrapper emits.
+            rank, op, impl, phase, seq = r.payload
+            pid, tid = PID_RANKS, int(rank)
+            pids_seen.add(pid)
+            name = f"coll.{op}.{impl}"
+            if phase == "start":
+                open_spans[(pid, tid, name, seq)] = (ts, {"impl": impl, "call": seq})
+            else:
+                start = open_spans.pop((pid, tid, name, seq), None)
+                if start is not None:
+                    t0, args = start
+                    events.append(
+                        {
+                            "ph": "X",
+                            "ts": t0,
+                            "dur": ts - t0,
+                            "pid": pid,
+                            "tid": tid,
+                            "name": name,
+                            "cat": r.category,
+                            "args": args,
+                        }
+                    )
         elif r.category == "sched":
             # Host request-scheduler events, on the device's host thread.
             device, phase, *rest = r.payload

@@ -5,6 +5,7 @@ Public surface::
     from repro.rcce import Rcce, RcceOptions, RankLayout, SccConfigFile
 """
 
+from . import collectives, hierarchical
 from .api import Rcce, RcceOptions
 from .config import RankLayout, SccConfigFile
 from .flags import FlagLayout, MAX_RANKS, SEQ_MOD
@@ -27,4 +28,6 @@ __all__ = [
     "SccConfigFile",
     "Transport",
     "TransportSelector",
+    "collectives",
+    "hierarchical",
 ]

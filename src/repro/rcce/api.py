@@ -54,6 +54,11 @@ class RcceOptions:
     #: Bytes at the top of the MPB payload reserved for gory users
     #: (``RCCE_malloc``); the rest is the send/recv communication buffer.
     user_mpb_bytes: int = 0
+    #: Session-level default for the two-level topology-aware collectives
+    #: (:mod:`repro.rcce.hierarchical`): on-chip binomial trees per
+    #: device, one leader per device crossing PCIe. Per-call
+    #: ``hierarchical=`` overrides this either way.
+    hierarchical_collectives: bool = False
 
 
 class Rcce:
@@ -91,6 +96,9 @@ class Rcce:
         self._seq: dict[tuple[int, int], int] = {}
         self.sends = 0
         self.recvs = 0
+        self._topology = None
+        self._obs = None  # lazily resolved metrics registry
+        self._coll_seq = 0  # per-rank collective call counter (trace spans)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Rcce rank={self.rank}/{self.num_ranks}>"
@@ -100,6 +108,21 @@ class Rcce:
     @property
     def num_ranks(self) -> int:
         return self.layout.num_ranks
+
+    @property
+    def topology(self):
+        """Coordinate queries over this session's rank layout.
+
+        Lazily built (:class:`repro.vscc.topology.VsccTopology` imports
+        at first use to avoid a module cycle); single-device sessions
+        get a topology whose z dimension is a single plane.
+        """
+        topo = self._topology
+        if topo is None:
+            from repro.vscc.topology import VsccTopology
+
+            topo = self._topology = VsccTopology(self.layout, self.env.params)
+        return topo
 
     def comm_buffer_addr(self, rank: int, offset: int = 0) -> MpbAddr:
         """Address of a rank's communication buffer (chunk staging area)."""
@@ -204,8 +227,60 @@ class Rcce:
 
     # -- collectives -----------------------------------------------------------------------
 
-    def barrier(self, group_size: Optional[int] = None) -> Generator:
-        yield from collectives.barrier(self, group_size)
+    def _coll_impl(self, hierarchical: Optional[bool]):
+        """(implementation module, impl label) for one collective call.
+
+        ``hierarchical=None`` falls back to the session-level default
+        (``RcceOptions.hierarchical_collectives``); an explicit bool
+        overrides it per call.
+        """
+        if hierarchical is None:
+            hierarchical = self.options.hierarchical_collectives
+        if hierarchical:
+            from . import hierarchical as impl
+
+            return impl, "hier"
+        return collectives, "flat"
+
+    def _run_collective(self, op_name: str, impl_name: str, gen) -> Generator:
+        """Drive one collective, emitting ``coll.*`` metrics and "coll"
+        trace spans when observability is on (free when it is off)."""
+        tracer = self.env.device.tracer
+        registry = self._obs
+        if registry is None:
+            from repro.obs.metrics import registry_for
+
+            registry = self._obs = registry_for(self.env.sim)
+        traced = tracer.wants("coll")
+        if not (traced or registry.enabled):
+            result = yield from gen
+            return result
+        seq = self._coll_seq
+        self._coll_seq += 1
+        started = self.env.sim.now
+        if traced:
+            tracer.emit(started, "coll", self.rank, op_name, impl_name, "start", seq)
+        result = yield from gen
+        now = self.env.sim.now
+        if tracer.wants("coll"):
+            tracer.emit(now, "coll", self.rank, op_name, impl_name, "done", seq)
+        if registry.enabled:
+            registry.counter("coll.calls", op=op_name, impl=impl_name).inc()
+            registry.histogram(
+                "coll.latency_ns", op=op_name, impl=impl_name
+            ).observe(now - started)
+        return result
+
+    def barrier(
+        self,
+        group_size: Optional[int] = None,
+        members: Optional[list] = None,
+        hierarchical: Optional[bool] = None,
+    ) -> Generator:
+        mod, impl = self._coll_impl(hierarchical)
+        yield from self._run_collective(
+            "barrier", impl, mod.barrier(self, group_size, members=members)
+        )
 
     def bcast(
         self,
@@ -213,9 +288,16 @@ class Rcce:
         nbytes: int,
         root: int,
         group_size: Optional[int] = None,
+        members: Optional[list] = None,
+        hierarchical: Optional[bool] = None,
     ) -> Generator:
         payload = None if data is None else self._as_bytes(data)
-        result = yield from collectives.bcast(self, payload, nbytes, root, group_size)
+        mod, impl = self._coll_impl(hierarchical)
+        result = yield from self._run_collective(
+            "bcast",
+            impl,
+            mod.bcast(self, payload, nbytes, root, group_size, members=members),
+        )
         return result
 
     def reduce(
@@ -224,14 +306,47 @@ class Rcce:
         op=np.add,
         root: int = 0,
         group_size: Optional[int] = None,
+        members: Optional[list] = None,
+        hierarchical: Optional[bool] = None,
     ) -> Generator:
-        result = yield from collectives.reduce(self, values, op, root, group_size)
+        mod, impl = self._coll_impl(hierarchical)
+        result = yield from self._run_collective(
+            "reduce",
+            impl,
+            mod.reduce(self, values, op, root, group_size, members=members),
+        )
         return result
 
     def allreduce(
-        self, values: np.ndarray, op=np.add, group_size: Optional[int] = None
+        self,
+        values: np.ndarray,
+        op=np.add,
+        group_size: Optional[int] = None,
+        members: Optional[list] = None,
+        hierarchical: Optional[bool] = None,
     ) -> Generator:
-        result = yield from collectives.allreduce(self, values, op, group_size)
+        mod, impl = self._coll_impl(hierarchical)
+        result = yield from self._run_collective(
+            "allreduce",
+            impl,
+            mod.allreduce(self, values, op, group_size, members=members),
+        )
+        return result
+
+    def gather(
+        self,
+        value: Bytes,
+        root: int,
+        group_size: Optional[int] = None,
+        members: Optional[list] = None,
+        hierarchical: Optional[bool] = None,
+    ) -> Generator:
+        mod, impl = self._coll_impl(hierarchical)
+        result = yield from self._run_collective(
+            "gather",
+            impl,
+            mod.gather(self, value, root, group_size, members=members),
+        )
         return result
 
     # -- gory-layer allocator ----------------------------------------------------------------

@@ -20,7 +20,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .api import Rcce
 
-__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather"]
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "reduction_dtype"]
 
 _TOKEN = b"\x00"
 
@@ -79,9 +79,22 @@ def _resolve(comm: "Rcce", group_size: Optional[int], members) -> tuple[int, int
     splitting (:mod:`repro.rcce.comm`) passes down.
     """
     if members is not None:
-        members = list(members)
+        members = [int(m) for m in members]
+        # Validate the whole group up front: a bad member would otherwise
+        # surface mid-collective — after some ranks already entered the
+        # tree — as an obscure placement error on one rank while its
+        # peers block forever on tree edges that never fire (a deadlock).
+        bad = [m for m in members if not 0 <= m < comm.num_ranks]
+        if bad:
+            raise ValueError(
+                f"collective group members {bad} out of range "
+                f"0..{comm.num_ranks - 1}"
+            )
         if len(set(members)) != len(members):
-            raise ValueError("duplicate ranks in the collective group")
+            dupes = sorted({m for m in members if members.count(m) > 1})
+            raise ValueError(
+                f"duplicate ranks {dupes} in the collective group {members}"
+            )
         try:
             me = members.index(comm.rank)
         except ValueError:
@@ -100,6 +113,16 @@ def _group(comm: "Rcce", group_size: Optional[int]) -> int:
     if comm.rank >= n:
         raise ValueError(f"rank {comm.rank} outside the collective group of {n}")
     return n
+
+
+def reduction_dtype(values) -> np.dtype:
+    """The dtype a reduction runs in: ndarray inputs keep their dtype
+    (so integer reductions stay exact and bitwise-reproducible);
+    anything else — lists, scalars — coerces to float64, the historic
+    behaviour. Every rank must pass the same dtype."""
+    if isinstance(values, np.ndarray):
+        return values.dtype
+    return np.dtype(np.float64)
 
 
 def bcast(
@@ -153,17 +176,20 @@ def reduce(
     group_size: Optional[int] = None,
     members: Optional[list] = None,
 ) -> Generator:
-    """Reverse binomial-tree reduction of a float64 vector.
+    """Reverse binomial-tree reduction of a vector.
 
-    Returns the reduced vector at ``root`` and ``None`` elsewhere. The
-    combination order is deterministic (tree order), so results are
-    bit-reproducible across runs — though not identical to a sequential
-    left-fold, as in any tree reduction.
+    Returns the reduced vector at ``root`` and ``None`` elsewhere.
+    ndarray inputs reduce in their own dtype (:func:`reduction_dtype`),
+    so integer reductions are exact; list/scalar inputs coerce to
+    float64. The combination order is deterministic (tree order), so
+    results are bit-reproducible across runs — though not identical to
+    a sequential left-fold, as in any tree reduction.
     """
     me, n, ranks = _resolve(comm, group_size, members)
     if not 0 <= root < n:
         raise ValueError(f"root {root} out of range")
-    acc = np.array(values, dtype=np.float64, copy=True)
+    dtype = reduction_dtype(values)
+    acc = np.array(values, dtype=dtype, copy=True)
     if n == 1:
         return acc
     vr = (me - root) % n
@@ -174,7 +200,7 @@ def reduce(
             if src_vr < n:
                 src = (src_vr + root) % n
                 raw = yield from comm.recv(acc.nbytes, ranks[src])
-                acc = op(acc, raw.view(np.float64))
+                acc = op(acc, raw.view(dtype))
         else:
             dst = (vr - mask + root) % n
             yield from comm.send(acc, ranks[dst])
@@ -194,7 +220,8 @@ def allreduce(
     reduced = yield from reduce(
         comm, values, op, root=0, group_size=group_size, members=members
     )
-    nbytes = np.asarray(values, dtype=np.float64).nbytes
+    dtype = reduction_dtype(values)
+    nbytes = np.asarray(values, dtype=dtype).nbytes
     raw = yield from bcast(
         comm,
         None if reduced is None else comm._as_bytes(reduced),
@@ -203,7 +230,7 @@ def allreduce(
         group_size=group_size,
         members=members,
     )
-    return np.asarray(raw, np.uint8).view(np.float64).copy()
+    return np.asarray(raw, np.uint8).view(dtype).copy()
 
 
 def gather(

@@ -65,32 +65,48 @@ class Communicator:
         return data
 
     # -- collectives -------------------------------------------------------------
+    #
+    # Routed through the parent ``Rcce`` methods, so group collectives
+    # pick up the session's hierarchical default, the per-call
+    # ``hierarchical=`` override, and the ``coll.*`` instrumentation
+    # exactly like whole-session collectives.
 
-    def barrier(self) -> Generator:
-        yield from collectives.barrier(self.comm, members=self.members)
+    def barrier(self, hierarchical: Optional[bool] = None) -> Generator:
+        yield from self.comm.barrier(members=self.members, hierarchical=hierarchical)
 
-    def bcast(self, data, nbytes: int, root: int) -> Generator:
-        result = yield from collectives.bcast(
-            self.comm, None if data is None else self.comm._as_bytes(data),
-            nbytes, root, members=self.members,
+    def bcast(
+        self, data, nbytes: int, root: int, hierarchical: Optional[bool] = None
+    ) -> Generator:
+        result = yield from self.comm.bcast(
+            data, nbytes, root, members=self.members, hierarchical=hierarchical
         )
         return result
 
-    def reduce(self, values: np.ndarray, op=np.add, root: int = 0) -> Generator:
-        result = yield from collectives.reduce(
-            self.comm, values, op, root, members=self.members
+    def reduce(
+        self,
+        values: np.ndarray,
+        op=np.add,
+        root: int = 0,
+        hierarchical: Optional[bool] = None,
+    ) -> Generator:
+        result = yield from self.comm.reduce(
+            values, op, root, members=self.members, hierarchical=hierarchical
         )
         return result
 
-    def allreduce(self, values: np.ndarray, op=np.add) -> Generator:
-        result = yield from collectives.allreduce(
-            self.comm, values, op, members=self.members
+    def allreduce(
+        self, values: np.ndarray, op=np.add, hierarchical: Optional[bool] = None
+    ) -> Generator:
+        result = yield from self.comm.allreduce(
+            values, op, members=self.members, hierarchical=hierarchical
         )
         return result
 
-    def gather(self, value, root: int) -> Generator:
-        result = yield from collectives.gather(
-            self.comm, value, root, members=self.members
+    def gather(
+        self, value, root: int, hierarchical: Optional[bool] = None
+    ) -> Generator:
+        result = yield from self.comm.gather(
+            value, root, members=self.members, hierarchical=hierarchical
         )
         return result
 

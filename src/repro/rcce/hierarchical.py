@@ -1,0 +1,307 @@
+"""Topology-aware two-level collectives: on-chip trees, leader hops off-chip.
+
+The paper's locality lesson (§3, Fig 6b) is brutal for flat collectives:
+a PCIe hop costs ~10⁴ core cycles — roughly 120× an on-chip mesh hop —
+and every device funnels all of its z-traffic through one SIF. A flat
+binomial tree picks its edges by rank arithmetic alone, so a 240-rank
+``allreduce`` scatters dozens of tree edges across the five physical
+links. The standard answer on non-coherent clustered hardware (BDDT-SCC,
+the DNP's two interconnect tiers) is a *two-level* collective:
+
+1. **intra-device phase** — an on-chip binomial tree per device, over
+   the MPBs, exactly as cheap as a single-device collective;
+2. **leader election** — one deterministic leader rank per device (the
+   group's first member on that device; for rooted operations the root
+   itself leads its device), derived from
+   :meth:`repro.vscc.topology.VsccTopology.device_groups` without any
+   communication;
+3. **inter-device phase** — a binomial tree *over the leaders only*, so
+   each collective crosses PCIe O(num_devices) times instead of
+   O(n log n / num_devices) scattered edges.
+
+The leader phase sends through the ordinary per-message transport
+selection, so it composes with the :class:`repro.vscc.policy.SchemePolicy`
+layer: bulk reduce payloads ride the vDMA engine while one-byte barrier
+tokens drop below the direct-transfer threshold and ride the flag
+fast-path (§3.3).
+
+All functions mirror :mod:`repro.rcce.collectives` — same signatures,
+same ``group_size``/``members`` semantics, same blocking-generator
+calling convention — and are surfaced as
+``Rcce.barrier(..., hierarchical=True)`` (and friends) plus the
+session-level ``RcceOptions(hierarchical_collectives=True)`` default.
+
+Reduction order: the intra-device phase combines in the flat binomial
+order of each subgroup, then leaders combine in leader order — a
+*different* (documented, deterministic) floating-point order than the
+flat tree. Integer reductions are exact either way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from .collectives import (
+    _TOKEN,
+    _resolve,
+    n_pow2,
+    reduction_dtype,
+)
+from . import collectives as _flat
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .api import Rcce
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "GroupPlan"]
+
+
+class GroupPlan:
+    """The shared two-level decomposition of one collective group.
+
+    Every field is a pure function of the (identical) group argument and
+    the rank layout, so all participants compute the same plan with no
+    communication. ``leaders`` is ordered by first appearance of each
+    device in the group — the leader tree's shape is therefore stable
+    under ``members=`` permutations of non-leader ranks.
+    """
+
+    __slots__ = ("me", "n", "ranks", "groups", "sub", "leaders", "my_leader")
+
+    def __init__(
+        self,
+        comm: "Rcce",
+        group_size: Optional[int],
+        members,
+        root: Optional[int] = None,
+    ):
+        self.me, self.n, self.ranks = _resolve(comm, group_size, members)
+        if root is not None and not 0 <= root < self.n:
+            raise ValueError(f"root {root} out of range")
+        topo = comm.topology
+        #: device id -> ordered global-rank sublist (group order).
+        self.groups = topo.device_groups(self.ranks)
+        root_rank = None if root is None else self.ranks[root]
+        root_device = None if root_rank is None else topo.device_of(root_rank)
+        #: One leader per device: the first group member on the device,
+        #: except the root's device, which the root itself leads (saves
+        #: one on-chip forwarding hop for every rooted operation).
+        self.leaders = [
+            root_rank if device == root_device else sub[0]
+            for device, sub in self.groups.items()
+        ]
+        my_device = topo.device_of(self.ranks[self.me])
+        #: My device's subgroup (ordered global ranks) and its leader.
+        self.sub = self.groups[my_device]
+        self.my_leader = self.leaders[list(self.groups).index(my_device)]
+
+    @property
+    def is_leader(self) -> bool:
+        return self.ranks[self.me] == self.my_leader
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.groups)
+
+
+def barrier(
+    comm: "Rcce",
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Two-level barrier: on-chip token trees, leader barrier off-chip.
+
+    Non-leaders report up their device's binomial tree and block on the
+    release; leaders synchronize leader-to-leader (2·(num_devices−1)
+    PCIe crossings in total, each a one-byte token on the direct
+    fast-path) and then release their device.
+    """
+    plan = GroupPlan(comm, group_size, members)
+    if plan.n == 1:
+        return
+    sub = plan.sub
+    pos = sub.index(plan.ranks[plan.me])
+    size = len(sub)
+    # Gather phase: collect my on-chip children, then report up.
+    lsb = pos & -pos if pos else n_pow2(size)
+    k = 1
+    while k < lsb:
+        if pos + k < size:
+            yield from comm.recv(1, sub[pos + k])
+        k <<= 1
+    if pos:
+        parent = sub[pos - (pos & -pos)]
+        yield from comm.send(_TOKEN, parent)
+        yield from comm.recv(1, parent)
+    elif plan.num_devices > 1:
+        # Device quiet; synchronize the leaders across PCIe.
+        yield from _flat.barrier(comm, members=plan.leaders)
+    # Release phase: wake on-chip children in reverse order.
+    ks = []
+    k = 1
+    while k < lsb:
+        if pos + k < size:
+            ks.append(k)
+        k <<= 1
+    for k in reversed(ks):
+        yield from comm.send(_TOKEN, sub[pos + k])
+
+
+def bcast(
+    comm: "Rcce",
+    data: Optional[np.ndarray],
+    nbytes: int,
+    root: int,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Two-level broadcast: leader tree off-chip, then on-chip fan-out.
+
+    The root leads its own device, so the payload crosses PCIe exactly
+    ``num_devices - 1`` times (one leader-tree edge per remote device)
+    before the on-chip trees distribute it.
+    """
+    plan = GroupPlan(comm, group_size, members, root=root)
+    if plan.me == root:
+        if data is None or len(data) != nbytes:
+            raise ValueError("root must supply exactly nbytes of data")
+        payload = data
+    else:
+        payload = None
+    if plan.n == 1:
+        return payload
+    if plan.is_leader and plan.num_devices > 1:
+        payload = yield from _flat.bcast(
+            comm,
+            payload,
+            nbytes,
+            root=plan.leaders.index(plan.ranks[root]),
+            members=plan.leaders,
+        )
+    if len(plan.sub) > 1:
+        payload = yield from _flat.bcast(
+            comm,
+            payload,
+            nbytes,
+            root=plan.sub.index(plan.my_leader),
+            members=plan.sub,
+        )
+    return payload
+
+
+def reduce(
+    comm: "Rcce",
+    values: np.ndarray,
+    op,
+    root: int,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Two-level reduction: on-chip trees first, leader tree second.
+
+    Each device folds its contributions on chip; only the per-device
+    partials — ``num_devices - 1`` messages — cross PCIe. Returns the
+    reduced vector at ``root`` and ``None`` elsewhere, like the flat
+    version; the combination order (intra-device binomial, then leader
+    order) is deterministic but differs from the flat tree's.
+    """
+    plan = GroupPlan(comm, group_size, members, root=root)
+    acc = yield from _flat.reduce(
+        comm,
+        values,
+        op,
+        root=plan.sub.index(plan.my_leader),
+        members=plan.sub,
+    )
+    if plan.is_leader and plan.num_devices > 1:
+        acc = yield from _flat.reduce(
+            comm,
+            acc,
+            op,
+            root=plan.leaders.index(plan.ranks[root]),
+            members=plan.leaders,
+        )
+    return acc if plan.me == root else None
+
+
+def allreduce(
+    comm: "Rcce",
+    values: np.ndarray,
+    op,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Two-level allreduce: reduce to leaders, leader allreduce, fan-out.
+
+    The bulk payload crosses PCIe ``2·(num_devices - 1)`` times (up the
+    leader tree, back down) — under a :class:`~repro.vscc.policy.
+    ThresholdPolicy` those are exactly the messages that ride vDMA when
+    they outgrow the communication buffer.
+    """
+    plan = GroupPlan(comm, group_size, members, root=0)
+    dtype = reduction_dtype(values)
+    acc = yield from _flat.reduce(
+        comm,
+        values,
+        op,
+        root=plan.sub.index(plan.my_leader),
+        members=plan.sub,
+    )
+    if plan.is_leader and plan.num_devices > 1:
+        acc = yield from _flat.allreduce(comm, acc, op, members=plan.leaders)
+    if len(plan.sub) > 1:
+        nbytes = np.asarray(values, dtype=dtype).nbytes
+        raw = yield from _flat.bcast(
+            comm,
+            None if acc is None else comm._as_bytes(acc),
+            nbytes,
+            root=plan.sub.index(plan.my_leader),
+            members=plan.sub,
+        )
+        acc = np.asarray(raw, np.uint8).view(dtype).copy()
+    return np.array(acc, dtype=dtype, copy=True)
+
+
+def gather(
+    comm: "Rcce",
+    value: np.ndarray,
+    root: int,
+    group_size: Optional[int] = None,
+    members: Optional[list] = None,
+) -> Generator:
+    """Two-level gather of equal-size contributions to ``root``.
+
+    Each device gathers on chip to its leader, which forwards its
+    device's contributions as *one* concatenated message — so the link
+    carries ``num_devices - 1`` large messages instead of one per remote
+    rank. The root returns the parts in group order, like the flat
+    version.
+    """
+    plan = GroupPlan(comm, group_size, members, root=root)
+    payload = comm._as_bytes(value)
+    part_bytes = len(payload)
+    parts = yield from _flat.gather(
+        comm,
+        value,
+        root=plan.sub.index(plan.my_leader),
+        members=plan.sub,
+    )
+    if plan.me == root:
+        index_of = {rank: i for i, rank in enumerate(plan.ranks)}
+        out: list = [None] * plan.n
+        for i, rank in enumerate(plan.sub):
+            out[index_of[rank]] = parts[i]
+        for device, sub in plan.groups.items():
+            leader = plan.leaders[list(plan.groups).index(device)]
+            if leader == plan.ranks[root]:
+                continue
+            blob = yield from comm.recv(part_bytes * len(sub), leader)
+            blob = np.asarray(blob, np.uint8)
+            for i, rank in enumerate(sub):
+                out[index_of[rank]] = blob[i * part_bytes : (i + 1) * part_bytes]
+        return out
+    if plan.is_leader:
+        blob = np.concatenate([np.asarray(p, np.uint8) for p in parts])
+        yield from comm.send(blob, plan.ranks[root])
+    return None

@@ -54,7 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["RunResult", "VSCCSystem"]
 
 #: Trace categories recorded when ``run(trace_json=...)`` is used.
-TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched")
+TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched", "coll")
 
 
 @dataclass(frozen=True)

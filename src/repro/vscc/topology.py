@@ -13,6 +13,7 @@ z direction is special in two ways the paper stresses:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.rcce.config import RankLayout
 from repro.scc.params import SCCParams
@@ -35,6 +36,26 @@ class VsccTopology:
 
     def num_devices(self) -> int:
         return len({self.layout.placement(r)[0] for r in range(self.layout.num_ranks)})
+
+    def device_of(self, rank: int) -> int:
+        """The z coordinate of a rank (its device number)."""
+        return self.layout.placement(rank)[0]
+
+    def device_groups(self, ranks: Sequence[int]) -> dict[int, list[int]]:
+        """Partition an ordered rank group by device, preserving order.
+
+        The dict is keyed in first-appearance order of the devices and
+        each sublist keeps the input order — both are pure functions of
+        the (identical) group every collective participant passes, so
+        all ranks derive the same partition without communicating. This
+        is the split the two-level collectives
+        (:mod:`repro.rcce.hierarchical`) build their intra-device
+        subgroups and per-device leaders from.
+        """
+        groups: dict[int, list[int]] = {}
+        for rank in ranks:
+            groups.setdefault(self.device_of(rank), []).append(rank)
+        return groups
 
     def same_device(self, rank_a: int, rank_b: int) -> bool:
         return self.layout.same_device(rank_a, rank_b)

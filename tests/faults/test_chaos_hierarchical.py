@@ -1,0 +1,129 @@
+"""Chaos + determinism contracts for the two-level collectives.
+
+The leader phase concentrates all PCIe traffic of a hierarchical
+collective onto a handful of leader-to-leader routes — exactly the links
+the fault injector attacks. The contracts here:
+
+1. **graceful degradation** — hierarchical collectives complete under a
+   seeded lossy link and still produce the fault-free result;
+2. **no deadlock** — under a dying device with a reset plan the
+   collective either completes or raises (``DeviceQuarantined`` /
+   ``DeadlockError`` surfaced as a process failure), never hangs;
+3. **determinism** — same seed, same plan → byte-identical results and
+   identical simulated clocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import DeviceFaults, FaultPlan
+from repro.sim.errors import ProcessFailed
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+MEMBERS = [0, 50, 3, 95, 7, 48, 12]  # both devices, permuted order
+
+
+def _system(plan=None):
+    return VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        fault_plan=plan,
+    )
+
+
+def _allreduce_run(system):
+    got = {}
+
+    def program(comm):
+        gi = MEMBERS.index(comm.rank)
+        out = yield from comm.allreduce(
+            np.arange(256.0) + gi, np.add, members=MEMBERS, hierarchical=True
+        )
+        got[comm.rank] = out
+        yield from comm.barrier(members=MEMBERS, hierarchical=True)
+
+    system.run(program, ranks=MEMBERS)
+    return got
+
+
+def test_lossy_link_hierarchical_allreduce_correct():
+    baseline = _allreduce_run(_system())
+    plan = FaultPlan.lossy(1e-3, link="pcie1.down", seed=2)
+    system = _system(plan)
+    got = _allreduce_run(system)
+    for rank in MEMBERS:
+        assert (got[rank] == baseline[rank]).all()
+    totals = system.fault_injector.totals()
+    assert totals["faults.sent"] > 0
+    assert system.fault_injector.degraded_devices == ()
+
+
+def test_lossy_both_directions_barrier_flood():
+    """A barrier storm over both lossy directions: the one-byte leader
+    tokens are retried transparently and every rank is released."""
+    plan = FaultPlan.lossy(5e-3, seed=9)
+    system = _system(plan)
+    done = {}
+
+    def program(comm):
+        for _ in range(10):
+            yield from comm.barrier(members=MEMBERS, hierarchical=True)
+        done[comm.rank] = True
+
+    system.run(program, ranks=MEMBERS)
+    assert sorted(done) == sorted(MEMBERS)
+    assert system.fault_injector.degraded_devices == ()
+
+
+def test_dead_device_completes_or_quarantines_never_hangs():
+    """Device 1 dies mid-run under a reset plan. The run must terminate:
+    either the resets bring it back and the collective completes with
+    the right answer, or the failure surfaces as an exception — a silent
+    deadlock is the one forbidden outcome (``sim.run`` raises
+    ``DeadlockError`` on a wedged event loop, failing this test)."""
+    plan = FaultPlan(
+        seed=11,
+        devices={1: DeviceFaults(dead_at_ns=400_000.0)},
+        on_exhaust="reset",
+        retry_timeout_ns=10_000.0,
+        backoff_ns=5_000.0,
+    )
+    system = _system(plan)
+    try:
+        got = _allreduce_run(system)
+    except ProcessFailed:
+        return  # surfaced loudly — acceptable
+    expected = _allreduce_run(_system())
+    for rank in MEMBERS:
+        assert (got[rank] == expected[rank]).all()
+
+
+@pytest.mark.parametrize("seed", [2, 7])
+def test_same_seed_runs_are_byte_identical(seed):
+    runs = []
+    for _ in range(2):
+        plan = FaultPlan.lossy(2e-3, seed=seed)
+        system = _system(plan)
+        got = _allreduce_run(system)
+        runs.append(
+            (
+                {rank: got[rank].tobytes() for rank in MEMBERS},
+                system.sim.now,
+                system.fault_injector.totals(),
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_empty_plan_matches_no_plan():
+    """The null hypothesis, hierarchical edition: an empty fault plan is
+    bit-identical to no plan at all — results and simulated clock."""
+    bare = _system()
+    bare_got = _allreduce_run(bare)
+    empty = _system(FaultPlan())
+    empty_got = _allreduce_run(empty)
+    assert {r: v.tobytes() for r, v in bare_got.items()} == {
+        r: v.tobytes() for r, v in empty_got.items()
+    }
+    assert bare.sim.now == empty.sim.now

@@ -107,3 +107,59 @@ def test_gather_collects_in_rank_order(session):
     session.launch(program, ranks=range(4))
     assert [bytes(p)[0] for p in got[1]] == [0, 1, 2, 3]
     assert got[0] is None
+
+
+# -- members= validation: bad groups must fail loudly, never deadlock ----------
+
+
+def test_members_out_of_range_raises_upfront(session):
+    """A member rank beyond the layout used to deadlock the group (the
+    tree blocks on a rank that never runs); now it raises before any
+    communication happens."""
+    from repro.sim.errors import ProcessFailed
+
+    def program(comm):
+        yield from comm.barrier(members=[0, 1, 999])
+
+    with pytest.raises(ProcessFailed, match=r"members \[999\] out of range"):
+        session.launch(program, ranks=[0, 1])
+
+
+def test_members_negative_rank_raises(session):
+    from repro.sim.errors import ProcessFailed
+
+    def program(comm):
+        yield from comm.allreduce(np.ones(2), np.add, members=[0, -1, 2])
+
+    with pytest.raises(ProcessFailed, match="out of range"):
+        session.launch(program, ranks=[0])
+
+
+def test_members_duplicates_raise_with_dupes_listed(session):
+    from repro.sim.errors import ProcessFailed
+
+    def program(comm):
+        yield from comm.barrier(members=[0, 1, 2, 1])
+
+    with pytest.raises(ProcessFailed, match=r"duplicate.*\[1\]"):
+        session.launch(program, ranks=[0])
+
+
+def test_members_validation_applies_to_hierarchical(session):
+    from repro.sim.errors import ProcessFailed
+
+    def program(comm):
+        yield from comm.barrier(members=[0, 77], hierarchical=True)
+
+    with pytest.raises(ProcessFailed, match="out of range"):
+        session.launch(program, ranks=[0])
+
+
+def test_members_caller_not_in_group_raises(session):
+    from repro.sim.errors import ProcessFailed
+
+    def program(comm):
+        yield from comm.barrier(members=[1, 2])
+
+    with pytest.raises(ProcessFailed, match="outside the collective group"):
+        session.launch(program, ranks=[0])

@@ -1,0 +1,255 @@
+"""Unit tests for the two-level collectives (repro.rcce.hierarchical)."""
+
+import numpy as np
+import pytest
+
+from repro.rcce.api import RcceOptions
+from repro.vscc.schemes import CommScheme
+from repro.vscc.system import VSCCSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    return VSCCSystem(num_devices=3, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+
+
+# -- GroupPlan: the communication-free decomposition ---------------------------
+
+
+def plan_for(system, members, root=None):
+    """Build each member's GroupPlan without running any program."""
+    from repro.rcce.hierarchical import GroupPlan
+
+    return {
+        rank: GroupPlan(
+            system.comm_for(rank),
+            None,
+            members,
+            root=root,
+        )
+        for rank in members
+    }
+
+
+def test_plan_splits_by_device_in_first_appearance_order(system):
+    members = [100, 2, 50, 7, 144 - 1, 60]  # devices 2, 0, 1, 0, 2, 1
+    plans = plan_for(system, members)
+    for plan in plans.values():
+        assert list(plan.groups) == [2, 0, 1]
+        assert plan.groups[2] == [100, 143]
+        assert plan.groups[0] == [2, 7]
+        assert plan.groups[1] == [50, 60]
+        assert plan.num_devices == 3
+
+
+def test_plan_leaders_are_first_members(system):
+    members = [100, 2, 50, 7, 143, 60]
+    plans = plan_for(system, members)
+    for plan in plans.values():
+        assert plan.leaders == [100, 2, 50]
+    assert plans[100].is_leader and plans[2].is_leader and plans[50].is_leader
+    assert not plans[7].is_leader
+    assert plans[7].my_leader == 2
+    assert plans[143].my_leader == 100
+
+
+def test_plan_root_leads_its_own_device(system):
+    members = [100, 2, 50, 7, 143, 60]
+    plans = plan_for(system, members, root=members.index(7))
+    for plan in plans.values():
+        # Device 0's leader is the root (rank 7), not first-member 2.
+        assert plan.leaders == [100, 7, 50]
+    assert plans[7].is_leader
+    assert not plans[2].is_leader
+    assert plans[2].my_leader == 7
+
+
+def test_plan_identical_across_members(system):
+    """Every participant derives the same plan — no communication."""
+    members = [95, 0, 48, 1, 96]
+    plans = plan_for(system, members, root=2)
+    first = plans[members[0]]
+    for plan in plans.values():
+        assert list(plan.groups) == list(first.groups)
+        assert plan.groups == first.groups
+        assert plan.leaders == first.leaders
+
+
+def test_plan_single_device_degenerates(system):
+    plans = plan_for(system, [5, 1, 9])
+    for plan in plans.values():
+        assert plan.num_devices == 1
+        assert plan.leaders == [5]
+        assert plan.sub == [5, 1, 9]
+
+
+# -- topology helpers ----------------------------------------------------------
+
+
+def test_device_of_matches_placement(system):
+    for rank in (0, 47, 48, 95, 96, 143):
+        assert system.topology.device_of(rank) == system.layout.placement(rank)[0]
+
+
+def test_device_groups_preserve_input_order(system):
+    groups = system.topology.device_groups([50, 49, 0, 51, 1])
+    assert groups == {1: [50, 49, 51], 0: [0, 1]}
+    assert list(groups) == [1, 0]
+
+
+# -- crossing counts: the design's core claim ----------------------------------
+
+
+def _cross_pairs(system, program, members):
+    before = {
+        pair
+        for pair in system.layout.traffic
+        if system.topology.is_cross_device(*pair)
+    }
+    system.run(program, ranks=members)
+    after = {
+        pair
+        for pair in system.layout.traffic
+        if system.topology.is_cross_device(*pair)
+    }
+    return after - before
+
+
+@pytest.mark.parametrize("hier,expected", [(False, "many"), (True, "leaders")])
+def test_allreduce_crossing_routes(hier, expected):
+    """The hierarchical allreduce touches PCIe only on leader routes:
+    2·(num_devices−1) directed pairs. The flat tree crosses on more."""
+    system = VSCCSystem(
+        num_devices=3, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+    )
+    members = list(range(144))
+
+    def program(comm):
+        yield from comm.allreduce(
+            np.arange(8.0), np.add, members=members, hierarchical=hier
+        )
+
+    pairs = _cross_pairs(system, program, members)
+    leader_routes = 2 * (3 - 1)
+    if expected == "leaders":
+        assert len(pairs) == leader_routes
+        # ... and every one is an edge between device leaders (0, 48, 96).
+        leaders = {0, 48, 96}
+        assert all(src in leaders and dst in leaders for src, dst in pairs)
+    else:
+        assert len(pairs) > leader_routes
+
+
+def test_barrier_token_rides_direct_fastpath():
+    """Leader-phase barrier tokens are one byte — under the threshold
+    policy they must dispatch onto the direct flag fast-path (the §3.3
+    sub-threshold transport), never a bulk scheme."""
+    from repro.vscc.policy import ThresholdPolicy
+
+    system = VSCCSystem(num_devices=2, policy=ThresholdPolicy())
+    members = [0, 1, 48, 49]
+
+    def program(comm):
+        yield from comm.barrier(members=members, hierarchical=True)
+
+    system.run(program, ranks=members)
+    selections = system.selector.selections
+    assert selections.get("direct-small", 0) > 0
+    assert selections.get("vdma", 0) in (0, None) or "vdma" not in selections
+
+
+def test_allreduce_bulk_rides_vdma():
+    """Bulk leader-phase reduce payloads outgrow the comm buffer and
+    must dispatch onto the vDMA transport under the threshold policy."""
+    from repro.vscc.policy import ThresholdPolicy
+
+    system = VSCCSystem(num_devices=2, policy=ThresholdPolicy())
+    members = [0, 1, 48, 49]
+
+    def program(comm):
+        yield from comm.allreduce(
+            np.arange(4096.0), np.add, members=members, hierarchical=True
+        )
+
+    system.run(program, ranks=members)
+    vdma = [n for n in system.selector.selections if "vdma" in n]
+    assert vdma, f"expected vDMA selections, got {system.selector.selections}"
+
+
+# -- instrumentation -----------------------------------------------------------
+
+
+def test_coll_metrics_emitted(system):
+    system.obs.enabled = True
+    try:
+        members = [0, 50, 100]
+
+        def program(comm):
+            yield from comm.barrier(members=members, hierarchical=True)
+            yield from comm.allreduce(
+                np.arange(4.0), np.add, members=members, hierarchical=False
+            )
+
+        metrics = system.run(program, ranks=members).metrics
+    finally:
+        system.obs.enabled = False
+    assert metrics["coll.calls{impl=hier,op=barrier}"] == 3
+    assert metrics["coll.calls{impl=flat,op=allreduce}"] == 3
+    assert metrics["coll.latency_ns.count{impl=hier,op=barrier}"] == 3
+
+
+def test_coll_trace_spans(system, tmp_path):
+    import json
+
+    members = [0, 50, 100]
+
+    def program(comm):
+        yield from comm.allreduce(
+            np.arange(4.0), np.add, members=members, hierarchical=True
+        )
+
+    result = system.run(program, ranks=members, trace_json=tmp_path / "t.json")
+    doc = json.loads(result.trace_path.read_text())
+    spans = [
+        e for e in doc["traceEvents"]
+        if e.get("name") == "coll.allreduce.hier" and e["ph"] == "X"
+    ]
+    assert {e["tid"] for e in spans} == set(members)
+    assert all(e["dur"] > 0 for e in spans)
+
+
+def test_session_level_default():
+    """RcceOptions(hierarchical_collectives=True) flips the default;
+    per-call hierarchical=False still overrides it."""
+    from repro.rcce import collectives, hierarchical
+    from repro.rcce.api import Rcce
+
+    system = VSCCSystem(
+        num_devices=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        options=RcceOptions(hierarchical_collectives=True),
+    )
+    comm = system.comm_for(0)
+    assert comm._coll_impl(None)[0] is hierarchical
+    assert comm._coll_impl(False)[0] is collectives
+    assert comm._coll_impl(True)[0] is hierarchical
+
+    got = {}
+
+    def program(c):
+        out = yield from c.allreduce(np.arange(3.0), np.add, members=[0, 48])
+        got[c.rank] = out
+
+    system.run(program, ranks=[0, 48])
+    assert (got[0] == got[48]).all()
+    assert (got[0] == np.arange(3.0) * 2).all()
+
+
+def test_root_validation(system):
+    from repro.sim.errors import ProcessFailed
+
+    def program(comm):
+        yield from comm.bcast(b"x", 1, 5, members=[0, 50], hierarchical=True)
+
+    with pytest.raises(ProcessFailed, match="root 5 out of range"):
+        system.run(program, ranks=[0])
