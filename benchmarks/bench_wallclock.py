@@ -81,7 +81,7 @@ def fig6b_interdevice() -> dict:
     return {"oneway_sum_ns": total}
 
 
-def fig7_bt() -> dict:
+def _fig7_bt(kernel=None) -> dict:
     """NPB BT (class S, 64 ranks, vDMA scheme) on the five-device system."""
     from repro.apps.npb import BTBenchmark
     from repro.vscc.schemes import CommScheme
@@ -89,13 +89,28 @@ def fig7_bt() -> dict:
 
     bench = BTBenchmark(clazz="S", nranks=64, niter=1, mode="model")
     system = VSCCSystem(
-        num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+        num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA, kernel=kernel
     )
     system.run(bench.program, ranks=range(64))
     return {
         "sim_now_ns": system.sim.now,
         "events": system.sim.events_processed,
     }
+
+
+def fig7_bt() -> dict:
+    return _fig7_bt("serial")
+
+
+def fig7_bt_sharded() -> dict:
+    """fig7_bt on the sharded kernel (one lane per device + host lane).
+
+    Deliberately returns the *same fingerprint keys* as ``fig7_bt``:
+    ``tools/perf_gate.py`` pairs the two scenarios and fails if their
+    simulated fingerprints ever diverge — the cross-backend bit-identity
+    contract of DESIGN.md §11, enforced on every gate run.
+    """
+    return _fig7_bt("sharded")
 
 
 def fig8_traffic() -> dict:
@@ -266,6 +281,7 @@ SCENARIOS = {
     "fig6a_pingpong": fig6a_pingpong,
     "fig6b_interdevice": fig6b_interdevice,
     "fig7_bt": fig7_bt,
+    "fig7_bt_sharded": fig7_bt_sharded,
     "fig8_traffic": fig8_traffic,
     "policy_threshold_mixed": policy_threshold_mixed,
     "coll_hier_allreduce": coll_hier_allreduce,
@@ -313,6 +329,53 @@ def run_scenarios(names: list[str], repeat: int) -> dict:
             continue
         results[name] = {"wall_s": round(best, 4), **fingerprint}
     return results
+
+
+# -- kernel scaling ------------------------------------------------------------
+
+#: Kernel specs measured by ``--kernel-scaling``. fig7_bt's 64 ranks
+#: occupy two device lanes (48+16 ranks on devices 0-1), so counts past
+#: sharded:3 only add idle lanes — which must cost nothing.
+KERNEL_SCALING_SPECS = ("serial", "sharded:2", "sharded:3", "sharded:6")
+
+
+def measure_kernel_scaling(repeat: int) -> dict:
+    """fig7_bt wall-clock vs kernel shard count, speedup against serial.
+
+    Every spec must produce the identical simulated fingerprint (the
+    bit-identity contract); wall seconds are best-of-``repeat``, with
+    the serial kernel measured in the same session as the anchor.
+    """
+    walls: dict[str, float] = {}
+    fingerprint = None
+    for spec in KERNEL_SCALING_SPECS:
+        best = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            fp = _fig7_bt(spec)
+            wall = time.perf_counter() - t0
+            if fingerprint is None:
+                fingerprint = fp
+            elif fp != fingerprint:
+                raise AssertionError(
+                    f"kernel {spec!r} broke the fingerprint: "
+                    f"{fp} != {fingerprint}"
+                )
+            if best is None or wall < best:
+                best = wall
+        walls[spec] = best
+    serial = walls["serial"]
+    return {
+        "scenario": "fig7_bt",
+        "fingerprint": fingerprint,
+        "runs": {
+            spec: {
+                "wall_s": round(wall, 4),
+                "speedup_vs_serial": round(serial / wall, 3),
+            }
+            for spec, wall in walls.items()
+        },
+    }
 
 
 # -- JSON I/O ------------------------------------------------------------------
@@ -379,6 +442,12 @@ def main(argv: list[str] | None = None) -> int:
         help="include the chaos profile (fault-injection scenarios); these "
         "are excluded from the default run and the checked-in baseline",
     )
+    parser.add_argument(
+        "--kernel-scaling",
+        action="store_true",
+        help="also measure fig7_bt under every kernel spec and record "
+        "speedup-vs-shard-count in the output document",
+    )
     parser.add_argument("--out", type=Path, help="write the fresh run as JSON")
     parser.add_argument(
         "--update-baseline",
@@ -395,12 +464,25 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = sorted(set(SCENARIOS) - set(FAULT_SCENARIOS))
     results = run_scenarios(names, max(1, args.repeat))
+    scaling = None
+    if args.kernel_scaling:
+        scaling = measure_kernel_scaling(max(1, args.repeat))
+        print("kernel scaling (fig7_bt):")
+        for spec, entry in scaling["runs"].items():
+            print(
+                f"  {spec:12s} {entry['wall_s']:8.4f}s  "
+                f"speedup {entry['speedup_vs_serial']:5.2f}x"
+            )
 
     if args.update_baseline is not None:
         baseline = {}
         if args.update_baseline.exists():
             baseline = json.loads(args.update_baseline.read_text())
         doc = merge_baseline(baseline, results)
+        if scaling is not None:
+            doc["kernel_scaling"] = scaling
+        elif "kernel_scaling" in baseline:
+            doc["kernel_scaling"] = baseline["kernel_scaling"]
         args.update_baseline.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         print(f"baseline updated: {args.update_baseline}")
         print_table(doc["scenarios"])
@@ -408,10 +490,11 @@ def main(argv: list[str] | None = None) -> int:
         print_table(results)
 
     if args.out is not None:
+        doc = fresh_document(results)
+        if scaling is not None:
+            doc["kernel_scaling"] = scaling
         args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(
-            json.dumps(fresh_document(results), indent=1, sort_keys=True) + "\n"
-        )
+        args.out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         print(f"wrote {args.out}")
     return 0
 

@@ -54,7 +54,7 @@ class BTResult:
 
 
 class BTBenchmark:
-    """One configured BT run; spawn with ``session.launch(bench.program)``."""
+    """One configured BT run; spawn with ``session.run(bench.program)``."""
 
     def __init__(
         self,

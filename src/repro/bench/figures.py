@@ -79,7 +79,7 @@ def fig2_trace(size: int, pipelined: bool):
         elif comm.rank == ONCHIP_PAIR[1]:
             yield from comm.recv(size, ONCHIP_PAIR[0])
 
-    session.launch(program, ranks=list(ONCHIP_PAIR))
+    session.run(program, ranks=list(ONCHIP_PAIR))
     return [r for r in session.device.tracer.records if r.category == "protocol"]
 
 

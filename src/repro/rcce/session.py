@@ -2,18 +2,28 @@
 
 The on-chip counterpart of :class:`repro.vscc.system.VSCCSystem` — used
 by the on-chip half of Fig 6a and by all plain-RCCE examples/tests. No
-host is attached; off-die accesses raise.
+host is attached; off-die accesses raise. Like the system façade it
+returns :class:`repro.results.RunResult` from :meth:`run` and accepts a
+``kernel=`` backend spec (``REPRO_KERNEL`` honoured when unset)::
+
+    session = RcceSession()
+    result = session.run(program, ranks=[0, 1])
+    result.results[1], result.elapsed_ns
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional, Sequence
+import os
+from typing import Callable, Generator, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.metrics import merge_snapshots
+from repro.results import RunResult
 from repro.scc.chip import SCCDevice
 from repro.scc.params import SCCParams
 from repro.sim.engine import Process, Simulator
+from repro.sim.kernel import KERNEL_ENV_VAR, Kernel, kernel_from_spec
 
 from .api import Rcce, RcceOptions
 from .config import RankLayout, SccConfigFile
@@ -32,8 +42,14 @@ class RcceSession:
         failure_prob: float = 0.0,
         seed: Optional[int] = None,
         core_order: str = "ascending",
+        kernel: Union[Kernel, str, None] = None,
     ):
-        self.sim = Simulator()
+        if kernel is None:
+            kernel = os.environ.get(KERNEL_ENV_VAR) or None
+        # One device => two lanes under a bare "sharded" spec: the
+        # device lane plus the (idle, costless) host lane.
+        self.kernel = kernel_from_spec(kernel, default_shards=2)
+        self.sim = Simulator(kernel=self.kernel)
         self.params = params or SCCParams()
         self.options = options or RcceOptions()
         self.device = SCCDevice(self.sim, self.params)
@@ -48,6 +64,13 @@ class RcceSession:
     @property
     def num_ranks(self) -> int:
         return self.layout.num_ranks
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        """Aggregated kernel + device metrics snapshot."""
+        return merge_snapshots(
+            [self.sim.metrics_snapshot(), self.device.metrics_snapshot()]
+        )
 
     def comm_for(self, rank: int) -> Rcce:
         comm = self._comms.get(rank)
@@ -69,9 +92,29 @@ class RcceSession:
     ) -> dict[int, Process]:
         ranks = list(range(self.num_ranks)) if ranks is None else list(ranks)
         return {
-            rank: self.sim.spawn(program(self.comm_for(rank)), name=f"rank{rank}")
+            rank: self.sim.spawn(
+                program(self.comm_for(rank)), name=f"rank{rank}", shard=0
+            )
             for rank in ranks
         }
+
+    def run(
+        self,
+        program: Callable[[Rcce], Generator],
+        ranks: Optional[Sequence[int]] = None,
+        until: Optional[float] = None,
+    ) -> RunResult:
+        """Spawn ``program`` on ``ranks``, run to completion, report."""
+        start_ns = self.sim.now
+        procs = self.spawn_ranks(program, ranks)
+        self.sim.run(until=until)
+        elapsed_ns = self.sim.now - start_ns
+        return RunResult(
+            results={rank: proc.result for rank, proc in procs.items()},
+            elapsed_ns=elapsed_ns,
+            core_cycles=self.params.core_clock.to_cycles(elapsed_ns),
+            metrics=self.metrics,
+        )
 
     def launch(
         self,
@@ -79,6 +122,13 @@ class RcceSession:
         ranks: Optional[Sequence[int]] = None,
         until: Optional[float] = None,
     ) -> dict[int, object]:
-        procs = self.spawn_ranks(program, ranks)
-        self.sim.run(until=until)
-        return {rank: proc.result for rank, proc in procs.items()}
+        """Deprecated: use :meth:`run` and read ``RunResult.results``."""
+        import warnings
+
+        warnings.warn(
+            "RcceSession.launch() is deprecated and will be removed in "
+            "repro 1.2; use run() and read RunResult.results",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(program, ranks=ranks, until=until).results

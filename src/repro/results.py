@@ -1,0 +1,45 @@
+"""The run-result surface shared by every session façade.
+
+:class:`RunResult` is what ``VSCCSystem.run()`` and ``RcceSession.run()``
+return — the ``run() -> RunResult`` API that replaced the historic
+``launch() -> dict`` surface. It lives in its own dependency-free module
+so both the multi-device system layer (:mod:`repro.vscc.system`) and the
+single-device session layer (:mod:`repro.rcce.session`) can return the
+same type without a layering cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What one ``run()`` call produced.
+
+    ``elapsed_ns``/``core_cycles`` cover only this run (the simulator
+    clock is monotonic across runs on the same system).
+    """
+
+    #: Per-rank return value of the program generator.
+    results: dict[int, Any] = field(default_factory=dict)
+    #: Simulated wall time this run took (ns).
+    elapsed_ns: float = 0.0
+    #: ``elapsed_ns`` in core-clock cycles (533 MHz by default).
+    core_cycles: float = 0.0
+    #: Aggregated metrics snapshot at the end of the run (cumulative
+    #: over the system's lifetime, not per-run).
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Where the Chrome trace was written, if requested.
+    trace_path: Optional[Path] = None
+    #: Devices quarantined during this system's lifetime (retry budget
+    #: exhausted under a fault plan), sorted. Empty on fault-free runs —
+    #: and on faulty runs the resilience layer fully absorbed.
+    degraded_devices: tuple[int, ...] = ()
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.results[rank]

@@ -14,32 +14,36 @@ Python generator that yields timing commands:
   process failed, the exception is re-raised in the waiter.
 
 Time is a float in **nanoseconds**; frequency-domain helpers live in
-:mod:`repro.sim.clock`. The kernel is deliberately small and tuned for
-the event mix the reproduction actually generates (DESIGN.md §7):
+:mod:`repro.sim.clock`. *Where* pending wake-ups live and how they are
+dispatched is delegated to a pluggable :class:`repro.sim.kernel.Kernel`
+backend (``Simulator(kernel=...)``; see DESIGN.md §7 and §11):
 
-* delayed wake-ups go through a binary heap of ``(time, seq, process,
-  payload)`` entries;
-* zero-delay wake-ups (event triggers, signal pulses, spawns — roughly
-  half of all events in flag-heavy runs) go through a FIFO *fast lane*
-  (a deque) that skips the heap entirely. Because simulated time never
-  decreases, the fast lane is sorted by ``(time, seq)`` by construction,
-  and the dispatch loop merge-pops the two queues, preserving exactly
-  the global ``(time, seq)`` order of the heap-only kernel;
+* :class:`~repro.sim.kernel.SerialKernel` (the default) merge-pops a
+  binary heap of delayed wake-ups with a FIFO *fast lane* of zero-delay
+  wake-ups, preserving global ``(time, seq)`` order;
+* :class:`~repro.sim.kernel.ShardedKernel` partitions the queues into
+  one lane per SCC device and dispatches in conservative windows, with
+  the identical global order guaranteed by its horizon protocol;
 * yield dispatch is type-keyed (one dict lookup on ``type(command)``)
   instead of an isinstance chain.
 
-There is no global locking — the simulation is single-threaded and
-deterministic (ties are broken by spawn/schedule order).
+There is no global locking — dispatch is single-threaded and
+deterministic (ties are broken by spawn/schedule order), which is what
+keeps every backend's simulated fingerprints bit-identical.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 from .errors import DeadlockError, InvalidYield, ProcessFailed, SimulationError
+from .kernel import (
+    DRAINED,
+    PAST_UNTIL,
+    Kernel,
+    kernel_from_spec,
+)
 
 __all__ = [
     "Delay",
@@ -206,7 +210,7 @@ class Process:
     process object from another process.
     """
 
-    __slots__ = ("sim", "name", "gen", "done", "_failure", "_waiting_on")
+    __slots__ = ("sim", "name", "gen", "done", "_failure", "_waiting_on", "_lane")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str):
         self.sim = sim
@@ -215,6 +219,8 @@ class Process:
         self.done = Event(sim, name=f"{name}.done")
         self._failure: Optional[BaseException] = None
         self._waiting_on: Any = None
+        #: Kernel scheduling lane (shard affinity); 0 under SerialKernel.
+        self._lane = 0
 
     @property
     def finished(self) -> bool:
@@ -330,13 +336,6 @@ class TimerHandle:
         return True
 
 
-# Loop-exit reasons of Simulator._loop.
-_STOPPED = 0
-_DRAINED = 1
-_PAST_UNTIL = 2
-_MAX_EVENTS = 3
-
-
 class Simulator:
     """Deterministic single-threaded discrete-event simulator.
 
@@ -347,16 +346,27 @@ class Simulator:
         :meth:`run` immediately with :class:`ProcessFailed`. When False,
         failures are collected in :attr:`failures` and only waiters on the
         failed process see the exception.
+    kernel:
+        Event-queue backend: a :class:`repro.sim.kernel.Kernel` instance,
+        a spec string (``"serial"``, ``"sharded"``, ``"sharded:N"``) or
+        ``None`` for the serial default. Every backend dispatches in the
+        same global ``(time, seq)`` order, so simulated results are
+        backend-independent bit for bit.
     """
 
-    def __init__(self, fail_fast: bool = True):
+    def __init__(
+        self,
+        fail_fast: bool = True,
+        kernel: Union[Kernel, str, None] = None,
+    ):
         self.now: float = 0.0
         self.fail_fast = fail_fast
-        self._queue: list[tuple[float, int, Process, Any]] = []
-        #: Zero-delay fast lane: appended in seq order at nondecreasing
-        #: times, hence always sorted by (time, seq) — see module doc.
-        self._fast: deque[tuple[float, int, Process, Any]] = deque()
-        self._seq = 0
+        self.kernel = kernel_from_spec(kernel)
+        self.kernel.attach(self)
+        #: Hot-path alias: Event.trigger / Signal.pulse / Process._step
+        #: call ``sim._schedule`` directly, which resolves to the bound
+        #: kernel method with no extra indirection.
+        self._schedule = self.kernel.schedule
         self._live_processes: set[Process] = set()
         self._failures: list[Process] = []
         self._spawned = 0
@@ -364,12 +374,27 @@ class Simulator:
 
     # -- process management -------------------------------------------------
 
-    def spawn(self, gen: Generator, name: Optional[str] = None) -> Process:
-        """Register a generator as a process, starting at the current time."""
+    def spawn(
+        self,
+        gen: Generator,
+        name: Optional[str] = None,
+        shard: Optional[int] = None,
+    ) -> Process:
+        """Register a generator as a process, starting at the current time.
+
+        ``shard`` hints the kernel scheduling lane (a device id under the
+        sharded backend). Without a hint the process inherits the lane of
+        the process that spawned it — timers and helper coroutines stay
+        in their owner's shard — and top-level spawns land in lane 0.
+        """
         if not hasattr(gen, "send"):
             raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
         self._spawned += 1
         proc = Process(self, gen, name or f"proc-{self._spawned}")
+        kernel = self.kernel
+        proc._lane = (
+            kernel.current_lane if shard is None else kernel.lane_for(shard)
+        )
         self._live_processes.add(proc)
         self._schedule(0.0, proc, None)
         return proc
@@ -385,22 +410,21 @@ class Simulator:
         return list(self._failures)
 
     def metrics_snapshot(self) -> dict[str, float]:
-        """Kernel-level counters for the unified observability surface."""
-        return {
+        """Kernel-level counters for the unified observability surface.
+
+        Includes the backend's own counters (``kernel.*`` series — lane
+        loads and sync overhead under the sharded backend).
+        """
+        snap = {
             "sim.now_ns": self.now,
             "sim.events": float(self.events_processed),
             "sim.processes_spawned": float(self._spawned),
             "sim.processes_live": float(len(self._live_processes)),
         }
+        snap.update(self.kernel.metrics_snapshot())
+        return snap
 
     # -- scheduling ----------------------------------------------------------
-
-    def _schedule(self, delay: float, proc: Process, payload: Any) -> None:
-        self._seq += 1
-        if delay == 0.0:
-            self._fast.append((self.now, self._seq, proc, payload))
-        else:
-            heapq.heappush(self._queue, (self.now + delay, self._seq, proc, payload))
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run a plain callback at absolute simulated time ``when``."""
@@ -436,55 +460,6 @@ class Simulator:
 
     # -- main loop -----------------------------------------------------------
 
-    def _loop(
-        self,
-        until: Optional[float],
-        max_events: Optional[int],
-        stop: Optional[list],
-    ) -> int:
-        """The single inner event loop behind run() and run_until().
-
-        Merge-pops the zero-delay fast lane and the heap in global
-        ``(time, seq)`` order and dispatches until a boundary is hit:
-        ``stop[0]`` set by a callback, the next event lying past
-        ``until``, ``max_events`` dispatched, or both queues drained.
-        """
-        queue = self._queue
-        fast = self._fast
-        pop = heapq.heappop
-        events = 0
-        while True:
-            if stop is not None and stop[0]:
-                return _STOPPED
-            if fast:
-                if queue and queue[0] < fast[0]:
-                    entry = queue[0]
-                    from_heap = True
-                else:
-                    entry = fast[0]
-                    from_heap = False
-            elif queue:
-                entry = queue[0]
-                from_heap = True
-            else:
-                return _DRAINED
-            if until is not None and entry[0] > until:
-                return _PAST_UNTIL
-            if from_heap:
-                pop(queue)
-            else:
-                fast.popleft()
-            proc = entry[2]
-            if proc.done._triggered:
-                continue  # stale wake-up for an already-finished process
-            self.now = entry[0]
-            proc._step(entry[3])
-            self.events_processed += 1
-            if max_events is not None:
-                events += 1
-                if events >= max_events:
-                    return _MAX_EVENTS
-
     def run(
         self,
         until: Optional[float] = None,
@@ -498,11 +473,11 @@ class Simulator:
         remain blocked (unless ``detect_deadlock`` is False — useful for
         systems with daemon processes parked on external queues).
         """
-        reason = self._loop(until, max_events, None)
-        if reason == _PAST_UNTIL:
+        reason = self.kernel.loop(until, max_events, None)
+        if reason == PAST_UNTIL:
             self.now = until
             return self.now
-        if reason == _DRAINED:
+        if reason == DRAINED:
             blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
             if detect_deadlock and blocked:
                 raise DeadlockError(blocked)
@@ -515,11 +490,11 @@ class Simulator:
         """
         stop = [False]
         event.on_trigger(lambda _v: stop.__setitem__(0, True))
-        reason = self._loop(limit, None, stop)
-        if reason == _DRAINED:
+        reason = self.kernel.loop(limit, None, stop)
+        if reason == DRAINED:
             blocked = [p.name for p in self._live_processes if not _is_daemon(p)]
             raise DeadlockError(blocked)
-        if reason == _PAST_UNTIL:
+        if reason == PAST_UNTIL:
             raise SimulationError(
                 f"run_until: time limit {limit} ns exceeded at t={self.now}"
             )

@@ -19,14 +19,13 @@ from .protocol import (
     VdmaTransport,
     VsccSelector,
 )
-from .schemes import CommScheme, DIRECT_THRESHOLD
+from .schemes import CommScheme
 from .system import RunResult, VSCCSystem
 from .topology import VsccTopology
 
 __all__ = [
     "AdaptivePolicy",
     "CommScheme",
-    "DIRECT_THRESHOLD",
     "DirectSmallTransport",
     "RemotePutTransport",
     "Route",

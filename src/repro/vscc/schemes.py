@@ -20,12 +20,9 @@ pushes the payload itself and skips the setup costs.
 
 from __future__ import annotations
 
-import warnings
-from collections.abc import Mapping
 from enum import Enum
-from typing import Iterator
 
-__all__ = ["CommScheme", "DIRECT_THRESHOLD"]
+__all__ = ["CommScheme"]
 
 
 class CommScheme(Enum):
@@ -72,32 +69,17 @@ _DIRECT_THRESHOLDS: dict[CommScheme, int] = {
 }
 
 
-class _DeprecatedThresholds(Mapping):
-    """Read-only view kept for the historic ``DIRECT_THRESHOLD`` dict.
+def __getattr__(name: str):
+    # The historic module-level dict was removed from the public surface;
+    # the last shim warns until repro 1.2 drops the name entirely.
+    if name == "DIRECT_THRESHOLD":
+        import warnings
 
-    Every access warns once per call site style; the values come from
-    :attr:`CommScheme.direct_threshold` so the two can never diverge.
-    """
-
-    _WHAT = (
-        "DIRECT_THRESHOLD is deprecated; use CommScheme.direct_threshold"
-    )
-
-    def __getitem__(self, scheme: CommScheme) -> int:
-        warnings.warn(self._WHAT, DeprecationWarning, stacklevel=2)
-        return _DIRECT_THRESHOLDS[scheme]
-
-    def __iter__(self) -> Iterator[CommScheme]:
-        warnings.warn(self._WHAT, DeprecationWarning, stacklevel=2)
-        return iter(_DIRECT_THRESHOLDS)
-
-    def __len__(self) -> int:
-        return len(_DIRECT_THRESHOLDS)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"DIRECT_THRESHOLD({_DIRECT_THRESHOLDS!r})"
-
-
-#: Deprecated alias for the per-scheme thresholds; prefer
-#: :attr:`CommScheme.direct_threshold`.
-DIRECT_THRESHOLD = _DeprecatedThresholds()
+        warnings.warn(
+            "DIRECT_THRESHOLD is deprecated and will be removed in "
+            "repro 1.2; use CommScheme.direct_threshold",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return dict(_DIRECT_THRESHOLDS)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

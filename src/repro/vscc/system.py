@@ -26,9 +26,9 @@ protocol/vDMA trace events and writes a Chrome-trace file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence, Union
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,9 +38,11 @@ from repro.obs.metrics import MetricsRegistry, merge_snapshots, registry_for
 from repro.rcce.api import Rcce, RcceOptions
 from repro.rcce.config import RankLayout, SccConfigFile
 from repro.rcce.flags import FlagLayout
+from repro.results import RunResult
 from repro.scc.chip import SCCDevice
 from repro.scc.params import SCCParams
 from repro.sim.engine import Process, Simulator
+from repro.sim.kernel import KERNEL_ENV_VAR, Kernel, ShardedKernel, kernel_from_spec
 from repro.sim.trace import Tracer
 
 from .policy import SchemePolicy, StaticPolicy
@@ -55,34 +57,6 @@ __all__ = ["RunResult", "VSCCSystem"]
 
 #: Trace categories recorded when ``run(trace_json=...)`` is used.
 TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched", "coll")
-
-
-@dataclass(frozen=True)
-class RunResult:
-    """What one :meth:`VSCCSystem.run` produced.
-
-    ``elapsed_ns``/``core_cycles`` cover only this run (the simulator
-    clock is monotonic across runs on the same system).
-    """
-
-    #: Per-rank return value of the program generator.
-    results: dict[int, Any] = field(default_factory=dict)
-    #: Simulated wall time this run took (ns).
-    elapsed_ns: float = 0.0
-    #: ``elapsed_ns`` in core-clock cycles (533 MHz by default).
-    core_cycles: float = 0.0
-    #: Aggregated metrics snapshot at the end of the run (cumulative
-    #: over the system's lifetime, not per-run).
-    metrics: dict[str, float] = field(default_factory=dict)
-    #: Where the Chrome trace was written, if requested.
-    trace_path: Optional[Path] = None
-    #: Devices quarantined during this system's lifetime (retry budget
-    #: exhausted under a fault plan), sorted. Empty on fault-free runs —
-    #: and on faulty runs the resilience layer fully absorbed.
-    degraded_devices: tuple[int, ...] = ()
-
-    def __getitem__(self, rank: int) -> Any:
-        return self.results[rank]
 
 
 class VSCCSystem:
@@ -105,6 +79,7 @@ class VSCCSystem:
         vdma_fused_mmio: bool = True,
         fault_plan: Optional["FaultPlan"] = None,
         policy: Optional[SchemePolicy] = None,
+        kernel: Union[Kernel, str, None] = None,
     ):
         if num_devices < 1:
             raise ValueError("need at least one device")
@@ -123,7 +98,12 @@ class VSCCSystem:
         self.policy = policy
         self.params = params or SCCParams()
         self.options = options or RcceOptions()
-        self.sim = Simulator()
+        if kernel is None:
+            kernel = os.environ.get(KERNEL_ENV_VAR) or None
+        #: Event-queue backend (``repro.sim.kernel``); the bare
+        #: ``"sharded"`` spec gets one lane per device plus a host lane.
+        self.kernel = kernel_from_spec(kernel, default_shards=num_devices + 1)
+        self.sim = Simulator(kernel=self.kernel)
         self.tracer = Tracer()
         self.devices = [
             SCCDevice(self.sim, self.params, device_id=i, tracer=self.tracer)
@@ -144,6 +124,11 @@ class VSCCSystem:
         # Dynamic policies opt the host scheduler into vDMA descriptor
         # coalescing; static runs keep the historic timing bit-identical.
         self.host.sched_coalesce = policy.coalesce_vdma
+        # The conservative sync boundary of the sharded backend is the
+        # PCIe/SIF hop: cross-device causality is at least one cable
+        # latency away, which is what makes device-grained lanes pay off.
+        if isinstance(self.kernel, ShardedKernel) and self.kernel.lookahead_ns is None:
+            self.kernel.lookahead_ns = self.host.pcie_params.latency_ns
         # §3.1: every rank registers its buffer/flag regions with the task.
         for device in self.devices:
             for core in device.available_cores:
@@ -211,7 +196,10 @@ class VSCCSystem:
         procs = {}
         for rank in ranks:
             comm = self.comm_for(rank)
-            procs[rank] = self.sim.spawn(program(comm), name=f"rank{rank}")
+            device_id, _core = self.layout.placement(rank)
+            procs[rank] = self.sim.spawn(
+                program(comm), name=f"rank{rank}", shard=device_id
+            )
         return procs
 
     def run(
@@ -265,8 +253,8 @@ class VSCCSystem:
         import warnings
 
         warnings.warn(
-            "VSCCSystem.launch() is deprecated; use run() and read "
-            "RunResult.results",
+            "VSCCSystem.launch() is deprecated and will be removed in "
+            "repro 1.2; use run() and read RunResult.results",
             DeprecationWarning,
             stacklevel=2,
         )

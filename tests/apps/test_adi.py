@@ -23,10 +23,7 @@ def run_adi(session, nranks, n, steps):
     bench = BTBenchmark(
         clazz=BTClass("mini", n, steps, 0.01), nranks=nranks, niter=steps, mode="adi"
     )
-    if hasattr(session, "run"):
-        results = session.run(bench.program, ranks=range(nranks)).results
-    else:
-        results = session.launch(bench.program, ranks=range(nranks))
+    results = session.run(bench.program, ranks=range(nranks)).results
     return assemble(bench, results)
 
 

@@ -20,7 +20,7 @@ def test_phase_split_sums_to_one():
 
 def test_model_run_onchip(session):
     bench = BTBenchmark(clazz="S", nranks=16, niter=2, mode="model")
-    session.launch(bench.program, ranks=range(16))
+    session.run(bench.program, ranks=range(16))
     result = bench.result()
     assert result.gflops_per_s > 0
     assert result.elapsed_s > 0
@@ -31,7 +31,7 @@ def test_scaling_improves_with_ranks():
     def gflops(nranks):
         bench = BTBenchmark(clazz="S", nranks=nranks, niter=1, mode="model")
         session = RcceSession()
-        session.launch(bench.program, ranks=range(nranks))
+        session.run(bench.program, ranks=range(nranks))
         return bench.result().gflops_per_s
 
     assert gflops(16) > gflops(4) > gflops(1)
@@ -41,7 +41,7 @@ def test_compute_bound_limit():
     """One rank with no communication runs at the sustained rate."""
     bench = BTBenchmark(clazz="S", nranks=1, niter=2, mode="model")
     session = RcceSession()
-    session.launch(bench.program, ranks=[0])
+    session.run(bench.program, ranks=[0])
     result = bench.result()
     sustained = 0.533 * bench.cost.flops_per_cycle  # GFLOP/s per core
     assert result.gflops_per_s == pytest.approx(sustained, rel=0.02)
@@ -77,7 +77,7 @@ def test_message_counts_match_the_dataflow():
 
     bench = BTBenchmark(clazz="S", nranks=9, niter=1, mode="model")
     session = RcceSession()
-    session.launch(bench.program, ranks=range(9))
+    session.run(bench.program, ranks=range(9))
     p = bench.part.p
     comm = session.comm_for(4)  # interior rank
     expected_per_step = 6 + 3 * 2 * (p - 1)
@@ -92,12 +92,12 @@ def test_traffic_volume_tracks_cost_model():
 
     bench = BTBenchmark(clazz="S", nranks=4, niter=2, mode="model")
     session = RcceSession()
-    session.launch(bench.program, ranks=range(4))
+    session.run(bench.program, ranks=range(4))
     matrix = traffic_matrix(session.layout)
     # doubling the steps doubles the payload traffic (minus barriers)
     bench2 = BTBenchmark(clazz="S", nranks=4, niter=4, mode="model")
     session2 = RcceSession()
-    session2.launch(bench2.program, ranks=range(4))
+    session2.run(bench2.program, ranks=range(4))
     matrix2 = traffic_matrix(session2.layout)
     ratio = matrix2.sum() / matrix.sum()
     assert 1.8 < ratio < 2.1

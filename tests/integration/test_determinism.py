@@ -9,15 +9,27 @@ fingerprints and every figure in the paper reproduction depend on it.
 """
 
 import numpy as np
+import pytest
 
 from repro.bench import fig6a_onchip
 from repro.vscc.schemes import CommScheme
 from repro.vscc.system import VSCCSystem
 
+#: Both kernel backends must replay identically — and identically to
+#: *each other* (the cross-backend tests below strip the kernel.* sync
+#: counters, which legitimately differ between backends).
+KERNELS = ["serial", "sharded"]
 
-def _run_vdma_program():
+
+def _strip_kernel_series(metrics):
+    return {k: v for k, v in metrics.items() if not k.startswith("kernel.")}
+
+
+def _run_vdma_program(kernel="serial"):
     """A multi-device program mixing vDMA bulk transfers and flag traffic."""
-    system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+    system = VSCCSystem(
+        num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA, kernel=kernel
+    )
     payload = (np.arange(6000) % 251).astype(np.uint8)
     got = {}
 
@@ -38,15 +50,28 @@ def _run_vdma_program():
     }
 
 
-def test_vdma_program_replays_identically():
-    first = _run_vdma_program()
-    second = _run_vdma_program()
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_vdma_program_replays_identically(kernel):
+    first = _run_vdma_program(kernel)
+    second = _run_vdma_program(kernel)
     assert first["now"] == second["now"]
     assert first["events"] == second["events"]
     assert first["metrics"] == second["metrics"]
 
 
-def _run_faulty_program():
+@pytest.mark.parametrize("kernel", ["sharded", "sharded:3"])
+def test_vdma_program_matches_serial_bit_for_bit(kernel):
+    """Cross-backend fingerprint contract (DESIGN.md §11)."""
+    serial = _run_vdma_program("serial")
+    other = _run_vdma_program(kernel)
+    assert other["now"] == serial["now"]
+    assert other["events"] == serial["events"]
+    assert _strip_kernel_series(other["metrics"]) == _strip_kernel_series(
+        serial["metrics"]
+    )
+
+
+def _run_faulty_program(kernel="serial"):
     """The vDMA program under a seeded chaos plan (drops + corruption)."""
     from repro.faults import FaultPlan, LinkFaults
 
@@ -60,6 +85,7 @@ def _run_faulty_program():
         num_devices=2,
         scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
         fault_plan=plan,
+        kernel=kernel,
     )
     payload = (np.arange(6000) % 251).astype(np.uint8)
     got = {}
@@ -84,19 +110,32 @@ def _run_faulty_program():
     }
 
 
-def test_faulty_program_replays_identically():
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_faulty_program_replays_identically(kernel):
     """Same seed + same FaultPlan → bit-identical RunResult metrics.
 
     The fault sequence (which packets drop, when retries fire, the
     backoff timings) must be a pure function of the plan seed — any
     hidden global-RNG or dict-ordering dependence breaks this.
     """
-    first = _run_faulty_program()
-    second = _run_faulty_program()
+    first = _run_faulty_program(kernel)
+    second = _run_faulty_program(kernel)
     assert first["now"] == second["now"]
     assert first["events"] == second["events"]
     assert first["metrics"] == second["metrics"]
     assert first["degraded"] == second["degraded"]
+
+
+def test_faulty_program_matches_serial_bit_for_bit():
+    """Retry/backoff timing under faults is kernel-independent."""
+    serial = _run_faulty_program("serial")
+    sharded = _run_faulty_program("sharded")
+    assert sharded["now"] == serial["now"]
+    assert sharded["events"] == serial["events"]
+    assert sharded["degraded"] == serial["degraded"]
+    assert _strip_kernel_series(sharded["metrics"]) == _strip_kernel_series(
+        serial["metrics"]
+    )
 
 
 def test_fig6a_replays_identically():

@@ -21,7 +21,7 @@ def test_300_messages_wrap_counters_onchip(session):
                 data = yield from comm.recv(40, 0)
                 got.append(int(data[0]))
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert got == [i % 256 for i in range(300)]
 
 
@@ -40,7 +40,7 @@ def test_pipelined_message_with_thousands_of_packets():
         elif comm.rank == 1:
             got["data"] = yield from comm.recv(size, 0)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert (got["data"] == payload).all()
 
 

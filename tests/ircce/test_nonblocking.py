@@ -21,7 +21,7 @@ def test_isend_irecv_roundtrip(session):
             data = yield from req.wait()
             got["data"] = data
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert (got["data"] == payload).all()
 
 
@@ -39,7 +39,7 @@ def test_sender_buffer_reusable_after_isend(session):
         elif comm.rank == 1:
             got["data"] = yield from comm.recv(100, 0)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert (np.asarray(got["data"]) == 7).all()
 
 
@@ -56,7 +56,7 @@ def test_outstanding_isends_serialize_and_deliver_in_order(session):
                 datas.append((yield from comm.recv(4000, 0)))
             got["first_bytes"] = [int(d[0]) for d in datas]
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert got["first_bytes"] == [0, 1, 2, 3]
 
 
@@ -73,7 +73,7 @@ def test_isends_to_different_peers_do_not_corrupt(session):
         elif comm.rank in (1, 2):
             got[comm.rank] = yield from comm.recv(6000, 0)
 
-    session.launch(program, ranks=[0, 1, 2])
+    session.run(program, ranks=[0, 1, 2])
     assert bytes(got[1]) == b"\xaa" * 6000
     assert bytes(got[2]) == b"\xbb" * 6000
 
@@ -90,7 +90,7 @@ def test_blocking_send_queues_behind_pending_isend(session):
             second = yield from comm.recv(5000, 0)
             got["order"] = (int(first[0]), int(second[0]))
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert got["order"] == (1, 2)
 
 
@@ -106,7 +106,7 @@ def test_test_and_repr(session):
         elif comm.rank == 1:
             yield from comm.recv(10, 0)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert state["before"] is False
     assert state["after"] is True
 
@@ -130,7 +130,7 @@ def test_wait_any_returns_first_completion(session):
         elif comm.rank == 2:
             yield from comm.send(b"\x02" * 10, 0)
 
-    session.launch(program, ranks=[0, 1, 2])
+    session.run(program, ranks=[0, 1, 2])
     assert got["first"] == 1  # the small, early message wins
 
 
@@ -150,7 +150,7 @@ def test_recv_any_source_matches_earliest_sender(session):
             yield from comm.env.compute(cycles=comm.rank * 50000)
             yield from comm.send(bytes([comm.rank]) * 100, 0)
 
-    session.launch(program, ranks=[0, 1, 2, 3])
+    session.run(program, ranks=[0, 1, 2, 3])
     assert got["first"] == (1, b"\x01")
 
 

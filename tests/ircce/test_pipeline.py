@@ -24,7 +24,7 @@ def test_data_integrity_across_packets():
         elif comm.rank == 1:
             got["data"] = yield from comm.recv(size, 0)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert (got["data"] == payload).all()
 
 
@@ -60,7 +60,7 @@ def test_oversized_packet_rejected_at_use():
             yield from comm.recv(8192, 0)
 
     with pytest.raises(Exception):
-        session.launch(program, ranks=[0, 1])
+        session.run(program, ranks=[0, 1])
 
 
 def test_alternating_directions_keep_counters_in_sync():
@@ -81,5 +81,5 @@ def test_alternating_directions_keep_counters_in_sync():
         if comm.rank == 0:
             ok["match"] = bool((data == payload).all())
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert ok["match"]

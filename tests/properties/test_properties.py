@@ -245,7 +245,7 @@ def test_adi_always_bitwise_matches_reference(nranks, n, steps):
         clazz=BTClass("mini", n, steps, 0.01), nranks=nranks, niter=steps, mode="adi"
     )
     session = RcceSession()
-    results = session.launch(bench.program, ranks=range(nranks))
+    results = session.run(bench.program, ranks=range(nranks)).results
     part = bench.part
     full = np.zeros((n,) * 3)
     for _rank, cells in results.items():

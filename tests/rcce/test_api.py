@@ -17,7 +17,7 @@ def test_send_recv_roundtrip(session):
         elif comm.rank == 5:
             got["data"] = yield from comm.recv(1000, 0)
 
-    session.launch(program, ranks=[0, 5])
+    session.run(program, ranks=[0, 5])
     assert (got["data"] == payload).all()
 
 
@@ -33,7 +33,7 @@ def test_multi_chunk_message(session):
         elif comm.rank == 1:
             got["data"] = yield from comm.recv(size, 0)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert (got["data"] == payload).all()
 
 
@@ -47,7 +47,7 @@ def test_zero_byte_message(session):
             data = yield from comm.recv(0, 1 - 1)
             done["len"] = len(data)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert done["len"] == 0
 
 
@@ -62,7 +62,7 @@ def test_send_accepts_float_arrays(session):
             raw = yield from comm.recv(values.nbytes, 0)
             got["values"] = raw.view(np.float64)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert np.array_equal(got["values"], values)
 
 
@@ -71,7 +71,7 @@ def test_self_send_rejected(session):
         yield from comm.send(b"x", comm.rank)
 
     with pytest.raises(Exception):
-        session.launch(program, ranks=[0])
+        session.run(program, ranks=[0])
 
 
 def test_messages_between_pairs_are_ordered(session):
@@ -86,7 +86,7 @@ def test_messages_between_pairs_are_ordered(session):
                 data = yield from comm.recv(1, 0)
                 got.append(data[0])
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     assert got == [0, 1, 2, 3, 4]
 
 
@@ -106,7 +106,7 @@ def test_bidirectional_concurrent_pairs(session):
             yield from comm.send(bytes([comm.rank]) * 100, peer)
             got[comm.rank] = data
 
-    session.launch(program, ranks=[0, 1, 2, 3])
+    session.run(program, ranks=[0, 1, 2, 3])
     assert bytes(got[0]) == bytes([1]) * 100
     assert bytes(got[3]) == bytes([2]) * 100
 

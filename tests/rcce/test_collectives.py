@@ -22,7 +22,7 @@ def test_barrier_synchronizes(session, nranks):
         yield from comm.barrier(group_size=nranks)
         after[comm.rank] = comm.env.sim.now
 
-    session.launch(program, ranks=range(nranks))
+    session.run(program, ranks=range(nranks))
     latest_arrival = (nranks - 1) * 10000 * session.params.core_clock.period_ns
     assert all(t >= latest_arrival for t in after.values())
 
@@ -32,7 +32,7 @@ def test_barrier_rejects_outside_rank(session):
         yield from comm.barrier(group_size=1)
 
     with pytest.raises(Exception):
-        session.launch(program, ranks=[3])
+        session.run(program, ranks=[3])
 
 
 def test_bcast_delivers_to_all(session, nranks):
@@ -46,7 +46,7 @@ def test_bcast_delivers_to_all(session, nranks):
                                      300, root=2 % nranks, group_size=nranks)
         got[comm.rank] = data
 
-    session.launch(program, ranks=range(nranks))
+    session.run(program, ranks=range(nranks))
     for rank in range(nranks):
         assert (np.asarray(got[rank]) == payload).all()
 
@@ -61,7 +61,7 @@ def test_reduce_sums_vectors(session, nranks):
         result = yield from comm.reduce(values, np.add, root=0, group_size=nranks)
         got[comm.rank] = result
 
-    session.launch(program, ranks=range(nranks))
+    session.run(program, ranks=range(nranks))
     expected = sum(range(1, nranks + 1))
     assert np.allclose(got[0], expected)
     assert all(got[r] is None for r in range(1, nranks))
@@ -76,7 +76,7 @@ def test_allreduce_everyone_gets_result(session):
         result = yield from comm.allreduce(np.array([float(comm.rank)]), np.add, group_size=6)
         got[comm.rank] = result[0]
 
-    session.launch(program, ranks=range(6))
+    session.run(program, ranks=range(6))
     assert all(v == pytest.approx(15.0) for v in got.values())
 
 
@@ -90,7 +90,7 @@ def test_reduce_maximum(session):
         result = yield from comm.reduce(values, np.maximum, root=0, group_size=4)
         got[comm.rank] = result
 
-    session.launch(program, ranks=range(4))
+    session.run(program, ranks=range(4))
     assert got[0][0] == pytest.approx(4.0)
 
 
@@ -104,7 +104,7 @@ def test_gather_collects_in_rank_order(session):
         parts = yield from coll.gather(comm, np.array([comm.rank], np.uint8), root=1, group_size=4)
         got[comm.rank] = parts
 
-    session.launch(program, ranks=range(4))
+    session.run(program, ranks=range(4))
     assert [bytes(p)[0] for p in got[1]] == [0, 1, 2, 3]
     assert got[0] is None
 
@@ -122,7 +122,7 @@ def test_members_out_of_range_raises_upfront(session):
         yield from comm.barrier(members=[0, 1, 999])
 
     with pytest.raises(ProcessFailed, match=r"members \[999\] out of range"):
-        session.launch(program, ranks=[0, 1])
+        session.run(program, ranks=[0, 1])
 
 
 def test_members_negative_rank_raises(session):
@@ -132,7 +132,7 @@ def test_members_negative_rank_raises(session):
         yield from comm.allreduce(np.ones(2), np.add, members=[0, -1, 2])
 
     with pytest.raises(ProcessFailed, match="out of range"):
-        session.launch(program, ranks=[0])
+        session.run(program, ranks=[0])
 
 
 def test_members_duplicates_raise_with_dupes_listed(session):
@@ -142,7 +142,7 @@ def test_members_duplicates_raise_with_dupes_listed(session):
         yield from comm.barrier(members=[0, 1, 2, 1])
 
     with pytest.raises(ProcessFailed, match=r"duplicate.*\[1\]"):
-        session.launch(program, ranks=[0])
+        session.run(program, ranks=[0])
 
 
 def test_members_validation_applies_to_hierarchical(session):
@@ -152,7 +152,7 @@ def test_members_validation_applies_to_hierarchical(session):
         yield from comm.barrier(members=[0, 77], hierarchical=True)
 
     with pytest.raises(ProcessFailed, match="out of range"):
-        session.launch(program, ranks=[0])
+        session.run(program, ranks=[0])
 
 
 def test_members_caller_not_in_group_raises(session):
@@ -162,4 +162,4 @@ def test_members_caller_not_in_group_raises(session):
         yield from comm.barrier(members=[1, 2])
 
     with pytest.raises(ProcessFailed, match="outside the collective group"):
-        session.launch(program, ranks=[0])
+        session.run(program, ranks=[0])

@@ -34,17 +34,21 @@ POLICIES = {
     "adaptive": lambda: AdaptivePolicy(),
 }
 
-#: One system per policy, shared across the matrix: collectives leave no
-#: state behind beyond monotonic clocks/counters, and rebuilding a
-#: 96-core system per case would dominate the suite's runtime.
-_SYSTEMS: dict[str, VSCCSystem] = {}
+#: Kernel backends the golden matrix runs under: every collective must
+#: produce the same bitwise results on the serial and sharded kernels.
+KERNELS = ["serial", "sharded"]
+
+#: One system per (policy, kernel), shared across the matrix: collectives
+#: leave no state behind beyond monotonic clocks/counters, and rebuilding
+#: a 96-core system per case would dominate the suite's runtime.
+_SYSTEMS: dict[tuple[str, str], VSCCSystem] = {}
 
 
-def system_for(policy_name: str) -> VSCCSystem:
-    system = _SYSTEMS.get(policy_name)
+def system_for(policy_name: str, kernel: str = "serial") -> VSCCSystem:
+    system = _SYSTEMS.get((policy_name, kernel))
     if system is None:
-        system = _SYSTEMS[policy_name] = VSCCSystem(
-            num_devices=2, policy=POLICIES[policy_name]()
+        system = _SYSTEMS[(policy_name, kernel)] = VSCCSystem(
+            num_devices=2, policy=POLICIES[policy_name](), kernel=kernel
         )
     return system
 
@@ -121,12 +125,13 @@ def _run(system, members, program):
     return {rank: results[rank] for rank in members}
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("impl", ["flat", "hier"])
-def test_golden_barrier(impl, policy_name):
+def test_golden_barrier(impl, policy_name, kernel):
     """Barrier orders every pre-barrier event before every post-barrier
     release — the golden model of a barrier is the max arrival time."""
-    system = system_for(policy_name)
+    system = system_for(policy_name, kernel)
     hier = impl == "hier"
     arrived, released = {}, {}
 
@@ -143,10 +148,11 @@ def test_golden_barrier(impl, policy_name):
     assert all(t >= latest for t in released.values())
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("impl", ["flat", "hier"])
-def test_golden_bcast(impl, policy_name):
-    system = system_for(policy_name)
+def test_golden_bcast(impl, policy_name, kernel):
+    system = system_for(policy_name, kernel)
     hier = impl == "hier"
     members = MEMBERS
     root = 3
@@ -166,11 +172,12 @@ def test_golden_bcast(impl, policy_name):
             assert (got[rank] == payload).all(), (size, rank)
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("impl", ["flat", "hier"])
 @pytest.mark.parametrize("dtype", [np.float64, np.int32])
-def test_golden_reduce(impl, policy_name, dtype):
-    system = system_for(policy_name)
+def test_golden_reduce(impl, policy_name, dtype, kernel):
+    system = system_for(policy_name, kernel)
     hier = impl == "hier"
     members = MEMBERS
     root = 2
@@ -194,11 +201,12 @@ def test_golden_reduce(impl, policy_name, dtype):
     assert all(got[r] is None for r in members if r != members[root])
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("impl", ["flat", "hier"])
 @pytest.mark.parametrize("dtype", [np.float64, np.int64])
-def test_golden_allreduce(impl, policy_name, dtype):
-    system = system_for(policy_name)
+def test_golden_allreduce(impl, policy_name, dtype, kernel):
+    system = system_for(policy_name, kernel)
     hier = impl == "hier"
     members = MEMBERS
     vals = [
@@ -221,10 +229,11 @@ def test_golden_allreduce(impl, policy_name, dtype):
         assert (got[rank] == expected).all(), rank
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("policy_name", sorted(POLICIES))
 @pytest.mark.parametrize("impl", ["flat", "hier"])
-def test_golden_gather(impl, policy_name):
-    system = system_for(policy_name)
+def test_golden_gather(impl, policy_name, kernel):
+    system = system_for(policy_name, kernel)
     hier = impl == "hier"
     members = MEMBERS
     root = 1
@@ -422,5 +431,43 @@ def test_single_device_hier_degenerates_to_flat(op_name, session):
                 out = None if out is None else b"".join(bytes(p) for p in out)
             got[impl][comm.rank] = out
 
-    session.launch(program, ranks=range(n))
+    session.run(program, ranks=range(n))
     assert got["flat"] == got["hier"]
+
+
+# -- cross-kernel fingerprint contract -----------------------------------------
+
+
+def test_collective_fingerprints_identical_across_kernels():
+    """One collective mix, three backends, one (now, events) fingerprint.
+
+    The sharded kernel's window protocol dispatches in the exact global
+    (time, seq) order of the serial kernel (DESIGN.md §11), so the
+    simulated clock, the event count and every payload byte must agree
+    bit for bit — including on a deliberately bad shard count.
+    """
+
+    def fingerprint(kernel):
+        system = VSCCSystem(
+            num_devices=2, policy=POLICIES["threshold"](), kernel=kernel
+        )
+        vals = {}
+
+        def program(comm):
+            gi = MEMBERS.index(comm.rank)
+            data = (np.arange(64) * (gi + 1)).astype(np.float64)
+            out = yield from comm.allreduce(
+                data, np.add, members=MEMBERS, hierarchical=True
+            )
+            yield from comm.barrier(members=MEMBERS)
+            vals[comm.rank] = out
+
+        system.run(program, ranks=MEMBERS)
+        return system.sim.now, system.sim.events_processed, vals
+
+    now_s, events_s, vals_s = fingerprint("serial")
+    for kernel in ("sharded", "sharded:3"):
+        now_k, events_k, vals_k = fingerprint(kernel)
+        assert (now_k, events_k) == (now_s, events_s), kernel
+        for rank in MEMBERS:
+            assert (vals_k[rank] == vals_s[rank]).all(), (kernel, rank)

@@ -25,7 +25,7 @@ def test_put_get_with_flag_sync(gory_session):
             data = yield from comm.gory.get(7, buf, 12)
             got["data"] = bytes(data)
 
-    gory_session.launch(program, ranks=[0, 7])
+    gory_session.run(program, ranks=[0, 7])
     assert got["data"] == b"gory payload"
 
 
@@ -40,7 +40,7 @@ def test_flag_read(gory_session):
             yield from comm.env.compute(cycles=200)
             got["value"] = yield from comm.gory.flag_read(1, flag)
 
-    gory_session.launch(program, ranks=[0])
+    gory_session.run(program, ranks=[0])
     assert got["value"] == 9
 
 
@@ -49,7 +49,7 @@ def test_put_outside_user_area_rejected(gory_session):
         yield from comm.gory.put(b"x" * 64, 1, 2048 - 16)
 
     with pytest.raises(Exception):
-        gory_session.launch(program, ranks=[0])
+        gory_session.run(program, ranks=[0])
 
 
 def test_flag_free_allows_reuse(gory_session):
@@ -61,4 +61,4 @@ def test_flag_free_allows_reuse(gory_session):
         return
         yield
 
-    gory_session.launch(program, ranks=[0])
+    gory_session.run(program, ranks=[0])

@@ -20,12 +20,24 @@ def test_comm_for_is_cached(session):
     assert session.comm_for(3) is session.comm_for(3)
 
 
-def test_launch_collects_results(session):
+def test_run_collects_results(session):
     def program(comm):
         yield from comm.env.compute(cycles=10)
         return comm.rank * 2
 
-    results = session.launch(program, ranks=[1, 5])
+    result = session.run(program, ranks=[1, 5])
+    assert result.results == {1: 2, 5: 10}
+    assert result.elapsed_ns > 0
+    assert result[5] == 10
+
+
+def test_launch_shim_warns_and_matches_run(session):
+    def program(comm):
+        yield from comm.env.compute(cycles=10)
+        return comm.rank * 2
+
+    with pytest.warns(DeprecationWarning, match="repro 1.2"):
+        results = session.launch(program, ranks=[1, 5])
     assert results == {1: 2, 5: 10}
 
 

@@ -48,7 +48,7 @@ def test_sender_stages_in_own_buffer(session):
         else:
             yield from comm.recv(64, 0)
 
-    session.launch(program, ranks=[0, 1])
+    session.run(program, ranks=[0, 1])
     env0 = session.device.core(0)
     env1 = session.device.core(1)
     assert env0.stats["mpb_bytes_written"] >= 64  # chunk + flags

@@ -37,6 +37,12 @@ BASELINE = REPO_ROOT / "BENCH_wallclock.json"
 #: Keys that are measurements, not simulated-result fingerprints.
 _NON_FINGERPRINT_KEYS = {"wall_s", "before_wall_s", "speedup", "skipped"}
 
+#: Scenario pairs whose *fresh* fingerprints must agree with each other:
+#: the same workload run on two kernel backends (DESIGN.md §11). A
+#: drift here is a cross-backend correctness failure even when each
+#: scenario individually matches its own baseline.
+_PAIRED_FINGERPRINTS = {"fig7_bt_sharded": "fig7_bt"}
+
 
 def fingerprint_of(entry: dict) -> dict:
     return {k: v for k, v in entry.items() if k not in _NON_FINGERPRINT_KEYS}
@@ -139,6 +145,24 @@ def gate(baseline: dict, fresh: dict) -> list[str]:
 
     for name in sorted(set(fresh_scenarios) - set(base_scenarios)):
         print(f"{name:26s} {'-':>9s} {'-':>9s} {'-':>7s}  new (no baseline)")
+
+    for name, anchor in sorted(_PAIRED_FINGERPRINTS.items()):
+        entry = fresh_scenarios.get(name)
+        anchor_entry = fresh_scenarios.get(anchor)
+        if entry is None or anchor_entry is None:
+            continue  # the per-scenario loop already reported any absence
+        if "skipped" in entry or "skipped" in anchor_entry:
+            continue
+        drifts = fingerprint_drift(fingerprint_of(anchor_entry), fingerprint_of(entry))
+        if drifts:
+            failures.append(
+                f"{name}: fingerprint differs from its serial anchor "
+                f"{anchor!r} — cross-backend bit-identity broken:"
+            )
+            failures.extend(f"    {name}.{drift}" for drift in drifts)
+            print(f"{name} vs {anchor}: PAIRED-FINGERPRINT MISMATCH")
+        else:
+            print(f"{name} vs {anchor}: fingerprints bit-identical")
     return failures
 
 
