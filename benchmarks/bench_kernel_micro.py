@@ -25,6 +25,8 @@ from repro.sim.engine import Delay, Simulator
 
 __all__ = [
     "KernelUnsupported",
+    "chunk_send_churn",
+    "flag_wait_churn",
     "router_account",
     "spawn_delay_churn",
     "watchpoint_pulse",
@@ -154,6 +156,87 @@ def router_account(ncalls: int = 200000) -> dict:
     }
 
 
+def flag_wait_churn(nrounds: int = 400) -> dict:
+    """set_flag/wait_flag ping-pong between two on-die ranks.
+
+    Exercises the flag hot path end to end: remote one-byte flag write
+    (mesh hop + ``call_at`` arrival), watchpoint park, and the fused
+    watch-then-poll wake in ``wait_flag_pred`` — the exact pattern that
+    dominates the RCCE transports.
+    """
+    from repro.rcce.flags import FlagLayout
+    from repro.rcce.session import RcceSession
+
+    session = RcceSession()
+    fl = session.flags
+    ping = fl.sent(1, 0)  # in rank 1's SF, written by rank 0
+    pong = fl.sent(0, 1)  # in rank 0's SF, written by rank 1
+
+    def rank0(comm):
+        env = comm.env
+        seq = 0
+        for _ in range(nrounds):
+            seq = FlagLayout.next_seq(seq)
+            yield from env.set_flag(ping, seq)
+            yield from env.wait_flag(pong, seq)
+
+    def rank1(comm):
+        env = comm.env
+        seq = 0
+        for _ in range(nrounds):
+            seq = FlagLayout.next_seq(seq)
+            yield from env.wait_flag(ping, seq)
+            yield from env.set_flag(pong, seq)
+
+    sim = session.sim
+    sim.spawn(rank0(session.comm_for(0)), name="rank0", shard=0)
+    sim.spawn(rank1(session.comm_for(1)), name="rank1", shard=0)
+    sim.run()
+    return {
+        "ops": 2 * nrounds,
+        "sim_now_ns": sim.now,
+        "events": sim.events_processed,
+    }
+
+
+def chunk_send_churn(nmsgs: int = 48, nbytes: int = 4096) -> dict:
+    """Blocking RCCE send/recv stream between two on-die ranks.
+
+    Exercises the chunked default transport — ``put_chunk``/``get_chunk``
+    staging through the communication buffer plus the sent/ready flag
+    handshake — with a payload checksum in the fingerprint so data
+    corruption fails the bench, not just timing drift.
+    """
+    import numpy as np
+
+    from repro.rcce.session import RcceSession
+
+    session = RcceSession()
+    payload = (np.arange(nbytes, dtype=np.int64) % 251).astype(np.uint8)
+    checksums: list[int] = []
+
+    def sender(comm):
+        for _ in range(nmsgs):
+            yield from comm.send(payload, dest=1)
+
+    def receiver(comm):
+        for _ in range(nmsgs):
+            data = yield from comm.recv(nbytes, src=0)
+            checksums.append(int(data[::97].sum()))
+
+    sim = session.sim
+    sim.spawn(sender(session.comm_for(0)), name="rank0", shard=0)
+    sim.spawn(receiver(session.comm_for(1)), name="rank1", shard=0)
+    sim.run()
+    return {
+        "ops": nmsgs,
+        "bytes": float(nmsgs * nbytes),
+        "checksum": float(sum(checksums)),
+        "sim_now_ns": sim.now,
+        "events": sim.events_processed,
+    }
+
+
 def _main() -> None:
     import time
 
@@ -163,6 +246,8 @@ def _main() -> None:
         zero_delay_churn,
         watchpoint_pulse,
         router_account,
+        flag_wait_churn,
+        chunk_send_churn,
     ):
         try:
             t0 = time.perf_counter()

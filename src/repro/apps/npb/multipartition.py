@@ -71,7 +71,12 @@ class MultiPartition:
         return math.isqrt(self.nranks)
 
     # -- node geometry -----------------------------------------------------------
+    # Every query below is a pure function of the frozen geometry, and
+    # the BT model calls them once per sweep step per rank — they are
+    # all memoized (the instance is hashable, the results immutable or
+    # never mutated by callers).
 
+    @lru_cache(maxsize=None)
     def node_coords(self, rank: int) -> tuple[int, int]:
         self._check_rank(rank)
         return rank % self.p, rank // self.p
@@ -86,12 +91,14 @@ class MultiPartition:
 
     # -- cell geometry --------------------------------------------------------------
 
+    @lru_cache(maxsize=None)
     def cells(self, rank: int) -> list[tuple[int, int, int]]:
         """(x, y, z) slab coordinates of the rank's p cells."""
         i, j = self.node_coords(rank)
         p = self.p
         return [((i + c) % p, (j + c) % p, c) for c in range(p)]
 
+    @lru_cache(maxsize=None)
     def cell_in_slab(self, rank: int, dim: int, slab: int) -> int:
         """Index c of the rank's cell lying in ``slab`` of dimension ``dim``."""
         i, j = self.node_coords(rank)
@@ -104,6 +111,7 @@ class MultiPartition:
             return slab % p
         raise ValueError(f"dimension {dim} out of range")
 
+    @lru_cache(maxsize=None)
     def partner(self, rank: int, dim: int, positive: bool) -> int:
         """The fixed neighbor owning the adjacent cells in a direction."""
         di, dj = _PARTNER_STEP[(dim, +1 if positive else -1)]
@@ -117,22 +125,26 @@ class MultiPartition:
         base, extra = divmod(self.n, self.p)
         return tuple(base + (1 if k < extra else 0) for k in range(self.p))
 
+    @lru_cache(maxsize=None)
     def slab_size(self, slab: int) -> int:
         return self._sizes()[slab]
 
     def slab_start(self, slab: int) -> int:
         return sum(self._sizes()[:slab])
 
+    @lru_cache(maxsize=None)
     def cell_shape(self, rank: int, c: int) -> tuple[int, int, int]:
         x, y, z = self.cells(rank)[c]
         return (self.slab_size(x), self.slab_size(y), self.slab_size(z))
 
+    @lru_cache(maxsize=None)
     def cross_section(self, rank: int, dim: int, slab: int) -> tuple[int, int]:
         """Shape of the cell face perpendicular to ``dim`` at ``slab``."""
         c = self.cell_in_slab(rank, dim, slab)
         shape = self.cell_shape(rank, c)
         return tuple(s for axis, s in enumerate(shape) if axis != dim)  # type: ignore[return-value]
 
+    @lru_cache(maxsize=None)
     def points_in_cell(self, rank: int, c: int) -> int:
         sx, sy, sz = self.cell_shape(rank, c)
         return sx * sy * sz

@@ -338,12 +338,15 @@ class CommunicationTask:
             target = self.host.device_of(addr.device)
             lines = max(1, -(-length // 32))
             rtt = self._line_rtt_ns(addr.device, read=True)
-            yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
+            # The request hop and every line batch are pure delays with
+            # no intervening side effects — one fused chain per read.
+            chain = [env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)]
             left = lines
             while left > 0:
                 batch = min(COARSEN_LINES, left)
-                yield batch * rtt
+                chain.append(batch * rtt)
                 left -= batch
+            yield tuple(chain)
             self.routed_reads += lines
             self._account_routed(addr.device, length + lines * REQUEST_BYTES)
             # Data is sampled at completion time — by then every line-level
@@ -365,12 +368,13 @@ class CommunicationTask:
             target = self.host.device_of(addr.device)
             lines = max(1, -(-length // 32))
             rtt = self._line_rtt_ns(addr.device, read=False)
-            yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
+            chain = [env.device.sif.mesh_to_sif_ns(env.core_id, length)]
             left = lines
             while left > 0:
                 batch = min(COARSEN_LINES, left)
-                yield batch * rtt
+                chain.append(batch * rtt)
                 left -= batch
+            yield tuple(chain)
             self.routed_writes += lines
             self._account_routed(addr.device, length + lines * REQUEST_BYTES)
             target.mpb.write(addr, data)
@@ -468,8 +472,10 @@ class CommunicationTask:
             # One snapshot copy (≤ threshold, so ≤128 B): delivery is fully
             # posted, the sender may reuse its buffer before arrival.
             payload = as_u8(data).copy()
-            yield env.device.sif.mesh_to_sif_ns(env.core_id, length)
-            yield lines * cable.params.fpga_ack_ns
+            yield (
+                env.device.sif.mesh_to_sif_ns(env.core_id, length),
+                lines * cable.params.fpga_ack_ns,
+            )
             dst_cable = host.cable_of(addr.device)
             dst_dev = host.device_of(addr.device)
 
@@ -559,8 +565,10 @@ class CommunicationTask:
         try:
             yield from self.fence_wcb(env.core_id)
             cable = self.cable
-            yield env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES)
-            yield cable.params.fpga_ack_ns
+            yield (
+                env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES),
+                cable.params.fpga_ack_ns,
+            )
             dst_cable = host.cable_of(addr.device)
             dst_dev = host.device_of(addr.device)
 
@@ -589,8 +597,10 @@ class CommunicationTask:
         transactions = 1 if fused else len(regs)
         self.sched.admit_ctrl(32 * transactions)
         try:
-            yield env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions)
-            yield transactions * cable.params.fpga_ack_ns
+            yield (
+                env.device.sif.mesh_to_sif_ns(env.core_id, 32 * transactions),
+                transactions * cable.params.fpga_ack_ns,
+            )
 
             def deliver() -> None:
                 for reg, value in regs:

@@ -192,10 +192,20 @@ class HostMpbCache:
         rel = addr.offset - entry.base.offset
 
         # Warm-up: the first read misses the SIF response buffer and
-        # travels to the host as an explicit request.
-        yield env.device.sif.mesh_to_sif_ns(env.core_id, 16)
-        yield from cable.up.transfer(16)
-        yield host.params.service_ns
+        # travels to the host as an explicit request. The mesh hop, the
+        # up-link transfer and the host service are one fused chain; the
+        # link reservation is evaluated at the accumulated post-mesh-hop
+        # instant via ``at=`` (bitwise the sequential reservation). The
+        # fault-injection wrapper needs the real per-yield path.
+        if cable.up.faults is None:
+            mesh_ns = env.device.sif.mesh_to_sif_ns(env.core_id, 16)
+            at = self.sim.now + mesh_ns
+            arrival = cable.up._occupy(16, at=at)
+            yield (mesh_ns, arrival - at, host.params.service_ns)
+        else:
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, 16)
+            yield from cable.up.transfer(16)
+            yield host.params.service_ns
 
         group = host.params.push_group
         capacity_groups = max(
@@ -223,9 +233,10 @@ class HostMpbCache:
         line_ns = pcie.sif_buffer_read_ns
         while drained < length:
             ev, offset, size = yield from arrivals.get()
-            yield ev  # group present in the SIF response buffer
             lines = -(-size // 32)
-            yield lines * line_ns  # receiver core drains the group
+            # Group present in the SIF response buffer, then drained by
+            # the receiver core — one fused event-headed chain.
+            yield (ev, lines * line_ns)
             out[offset : offset + size] = entry.buf[rel + offset : rel + offset + size]
             credits.put(None)
             drained += size

@@ -73,24 +73,30 @@ class PipelinedTransport(Transport):
         npackets = max(1, -(-nbytes // packet))
         seqs = [comm.next_seq(me, dest, "sent") for _ in range(npackets)]
         acks = [comm.next_seq(me, dest, "ready") for _ in range(npackets)]
+        # Ack predicates and the two slot addresses are pure functions of
+        # the packet plan — build them once, not per packet.
+        ack_preds = [_accepts(ack) for ack in acks[: max(0, npackets - 2)]]
         ready = fl.ready(me, dest)
+        sent = fl.sent(dest, me)
+        slots = (
+            comm.comm_buffer_addr(me, 0),
+            comm.comm_buffer_addr(me, packet),
+        )
         trace = env.device.tracer
         tracing = trace.wants("protocol")
         for k in range(npackets):
             if k >= 2:
                 # Slot k%2 is free once packet k-2 was acknowledged.
-                yield from env.wait_flag_pred(ready, _accepts(acks[k - 2]))
+                yield from env.wait_flag_pred(ready, ack_preds[k - 2])
             start = k * packet
             chunk = data[start : min(start + packet, nbytes)]
-            slot = comm.comm_buffer_addr(me, (k % 2) * packet)
             if len(chunk):
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "send", "put_start", k)
-                yield from env.private_read(len(chunk))
-                yield from env.mpb_write(slot, chunk)
+                yield from env.put_chunk(slots[k % 2], chunk)
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "send", "put_done", k)
-            yield from env.set_flag(fl.sent(dest, me), seqs[k])
+            yield from env.set_flag(sent, seqs[k])
         # Drain the tail: the final ack means the receiver has everything.
         yield from env.wait_flag(ready, acks[-1])
 
@@ -102,23 +108,26 @@ class PipelinedTransport(Transport):
         npackets = max(1, -(-nbytes // packet))
         seqs = [comm.next_seq(src, me, "sent") for _ in range(npackets)]
         acks = [comm.next_seq(src, me, "ready") for _ in range(npackets)]
+        seq_preds = [_accepts(seq) for seq in seqs]
         sent = fl.sent(me, src)
+        ready = fl.ready(src, me)
+        slots = (
+            comm.comm_buffer_addr(src, 0),
+            comm.comm_buffer_addr(src, packet),
+        )
         trace = env.device.tracer
         tracing = trace.wants("protocol")
         out = np.empty(nbytes, np.uint8)
         for k in range(npackets):
-            yield from env.wait_flag_pred(sent, _accepts(seqs[k]))
+            yield from env.wait_flag_pred(sent, seq_preds[k])
             start = k * packet
             size = min(packet, nbytes - start)
             if size > 0:
-                slot = comm.comm_buffer_addr(src, (k % 2) * packet)
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "recv", "get_start", k)
-                yield from env.cl1invmb()
-                chunk = yield from env.mpb_read(slot, size, assume_cold=True)
-                yield from env.private_write(size)
+                chunk = yield from env.get_chunk(slots[k % 2], size)
                 out[start : start + size] = chunk
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "recv", "get_done", k)
-            yield from env.set_flag(fl.ready(src, me), acks[k])
+            yield from env.set_flag(ready, acks[k])
         return out

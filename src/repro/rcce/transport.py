@@ -122,24 +122,27 @@ class DefaultGetTransport(Transport):
         trace = env.device.tracer
         tracing = trace.wants("protocol")
         buf = comm.comm_buffer_addr(me)
+        # Flag addresses are loop-invariant per (me, dest) pair — resolve
+        # them once instead of per chunk.
+        sent_flag = fl.sent(dest, me)
+        ready_flag = fl.ready(me, dest)
         for index, (start, chunk) in enumerate(comm.iter_chunks(data)):
             seq = comm.next_seq(me, dest, "sent")
             ack = comm.next_seq(me, dest, "ready")
             if len(chunk):
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "send", "put_start", index)
-                yield from env.private_read(len(chunk))
-                yield from env.mpb_write(buf, chunk)
+                yield from env.put_chunk(buf, chunk)
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "send", "put_done", index)
                 if self.cache_control == self.CACHE_ANNOUNCE:
                     yield from comm.announce_prefetch(len(chunk))
                 elif self.cache_control == self.CACHE_INVALIDATE:
                     yield from comm.cache_invalidate()
-            yield from env.set_flag(fl.sent(dest, me), seq)
+            yield from env.set_flag(sent_flag, seq)
             if tracing:
                 trace.emit(env.sim.now, "protocol", me, "send", "flag_set", index)
-            yield from env.wait_flag(fl.ready(me, dest), ack)
+            yield from env.wait_flag(ready_flag, ack)
             if tracing:
                 trace.emit(env.sim.now, "protocol", me, "send", "ack_seen", index)
 
@@ -150,21 +153,21 @@ class DefaultGetTransport(Transport):
         trace = env.device.tracer
         tracing = trace.wants("protocol")
         src_buf = comm.comm_buffer_addr(src)
+        sent_flag = fl.sent(me, src)
+        ready_flag = fl.ready(src, me)
         out = np.empty(nbytes, np.uint8)
         for index, (start, size) in enumerate(comm.iter_chunk_sizes(nbytes)):
             seq = comm.next_seq(src, me, "sent")
             ack = comm.next_seq(src, me, "ready")
-            yield from env.wait_flag(fl.sent(me, src), seq)
+            yield from env.wait_flag(sent_flag, seq)
             if size:
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "recv", "get_start", index)
-                yield from env.cl1invmb()
-                chunk = yield from env.mpb_read(src_buf, size, assume_cold=True)
-                yield from env.private_write(size)
+                chunk = yield from env.get_chunk(src_buf, size)
                 out[start : start + size] = chunk
                 if tracing:
                     trace.emit(env.sim.now, "protocol", me, "recv", "get_done", index)
-            yield from env.set_flag(fl.ready(src, me), ack)
+            yield from env.set_flag(ready_flag, ack)
         return out
 
 

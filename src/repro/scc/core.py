@@ -71,6 +71,16 @@ class CoreEnv:
         self._poll_base_ns = self._core_clock.cycles(p.flag_poll_cycles) + p.local_read_ns()
         self._dram_read_line_ns = p.dram_read_line_ns()
         self._dram_write_line_ns = p.dram_write_line_ns()
+        # XY hop distance to every core of this device, precomputed: the
+        # geometry is frozen, and remote MPB reads/flag ops resolve hops
+        # on every access.
+        cpt = self._cores_per_tile
+        tx = self._tiles_x
+        self._hops_table = [
+            abs((c // cpt) % tx - self._tile_x)
+            + abs((c // cpt) // tx - self._tile_y)
+            for c in range(p.num_tiles * cpt)
+        ]
         self.stats: dict[str, float] = {
             "mpb_bytes_read": 0,
             "mpb_bytes_written": 0,
@@ -103,9 +113,7 @@ class CoreEnv:
 
     def _hops_to(self, core: int) -> int:
         """XY hop count from this core's tile to ``core``'s tile."""
-        tile = core // self._cores_per_tile
-        tx = self._tiles_x
-        return abs(tile % tx - self._tile_x) + abs(tile // tx - self._tile_y)
+        return self._hops_table[core]
 
     @property
     def clock_scale(self) -> float:
@@ -242,6 +250,80 @@ class CoreEnv:
             arrival = self.sim.now + p.remote_write_arrival_ns(hops)
             self.sim.call_at(arrival, lambda: mem.write(addr, payload))
 
+    # -- fused chunk moves (DESIGN.md §12) -----------------------------------------------------
+
+    def put_chunk(self, addr: MpbAddr, data: Bytes) -> Generator:
+        """Fused sender-side chunk move: private-DRAM read + MPB write.
+
+        Bitwise-identical timing to ``private_read(len(data))`` followed
+        by ``mpb_write(addr, data)`` when ``addr`` is this core's own
+        MPB half (the RCCE local-put discipline) — the two delays are
+        presented as one fused chain and the payload lands at the same
+        accumulated instant the sequential pair would commit it. Any
+        other target falls back to the sequential pair.
+        """
+        length = len(data)
+        if addr.device != self.device.device_id or not self._is_local(addr):
+            yield from self.private_read(length)
+            yield from self.mpb_write(addr, data)
+            return
+        mem = self.device.mpb
+        mem.check_span(addr, length)
+        scale = self.clock_scale
+        stats = self.stats
+        stats["private_bytes"] += length
+        stats["mpb_bytes_written"] += length
+        r_lines = -(-length // CACHE_LINE)
+        d1 = max(
+            r_lines * self._dram_read_line_ns * scale,
+            self.device.memctrl.occupancy_wait_ns(self.core_id, length),
+        )
+        d2 = max(1, r_lines) * self._local_write_ns * scale
+        yield (d1, d2)
+        mem.write(addr, data)
+
+    def get_chunk(self, addr: MpbAddr, length: int) -> Generator:
+        """Fused receiver-side chunk move: CL1INVMB + MPB read + DRAM write.
+
+        Bitwise-identical timing to ``cl1invmb()`` + ``mpb_read(addr,
+        length, assume_cold=True)`` + ``private_write(length)``: the
+        memory-controller occupancy is evaluated at the accumulated
+        chain time via ``at=`` and the payload is sampled at the chain's
+        end, where the sequential receive's ack (which releases the
+        sender to overwrite) has not yet been sent. Off-die sources fall
+        back to the sequential triple.
+        """
+        if addr.device != self.device.device_id:
+            yield from self.cl1invmb()
+            data = yield from self.mpb_read(addr, length, assume_cold=True)
+            yield from self.private_write(length)
+            return data
+        mem = self.device.mpb
+        mem.check_span(addr, length)
+        scale = self.clock_scale
+        self.l1.cl1invmb()
+        d1 = self._cl1invmb_ns * scale
+        lines = max(1, -(-length // CACHE_LINE))
+        if self._is_local(addr):
+            miss_ns = self._local_read_ns
+        else:
+            miss_ns = self.params.remote_read_ns(self._hops_table[addr.core])
+            self.device.router.account(
+                self.tile, addr.core // self._cores_per_tile, length
+            )
+        d2 = (lines * miss_ns) * scale
+        stats = self.stats
+        stats["mpb_bytes_read"] += length
+        stats["private_bytes"] += length
+        d3 = max(
+            (-(-length // CACHE_LINE)) * self._dram_write_line_ns * scale,
+            self.device.memctrl.occupancy_wait_ns(
+                self.core_id, length, at=(self.sim.now + d1) + d2
+            ),
+        )
+        yield (d1, d2, d3)
+        return mem.read(addr, length)
+
     # -- synchronization flags ----------------------------------------------------------------
 
     def set_flag(self, addr: MpbAddr, value: int) -> Generator:
@@ -307,9 +389,17 @@ class CoreEnv:
         mem = self.device.mpb
         poll_ns = self._poll_base_ns * self.clock_scale
         deadline = None if timeout_ns is None else self.sim.now + timeout_ns
+        stats = self.stats
+        watch = None
         while True:
-            self.stats["flag_polls"] += 1
-            yield poll_ns
+            stats["flag_polls"] += 1
+            if watch is None:
+                yield poll_ns
+            else:
+                # Park on the watchpoint, then charge the re-poll as one
+                # fused chain: woken poll_ns after the write lands, the
+                # same instant the unfused watch-wake + poll pair reaches.
+                yield (watch, poll_ns)
             if predicate(mem.read_byte(addr)):
                 return
             if deadline is not None and self.sim.now > deadline:
@@ -317,7 +407,8 @@ class CoreEnv:
                     f"flag wait timed out: dev {self.device.device_id} core "
                     f"{self.core_id} waiting at {addr}"
                 )
-            yield mem.watch(addr)
+            if watch is None:
+                watch = mem.watch(addr)
 
     def wait_any_flag(
         self,

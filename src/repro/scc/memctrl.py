@@ -55,6 +55,8 @@ class MemoryControllers:
         #: Total extra time cores spent queued behind their quadrant
         #: controller (ns) — 0 whenever the quadrant is uncontended.
         self.fifo_wait_ns = 0.0
+        #: core_id -> quadrant Link, resolved once (pure of the geometry).
+        self._link_memo: dict[int, Link] = {}
         self._obs = registry_for(device.sim)
         self._wait_hist = self._obs.histogram(
             "memctrl.fifo_wait_ns", device=device.device_id
@@ -68,16 +70,26 @@ class MemoryControllers:
         south = y < (params.tiles_y + 1) // 2
         return (0 if west else 1) + (0 if south else 2)
 
-    def occupancy_wait_ns(self, core_id: int, nbytes: int) -> float:
+    def occupancy_wait_ns(
+        self, core_id: int, nbytes: int, at: "float | None" = None
+    ) -> float:
         """Reserve controller bandwidth; returns extra wait beyond *now*.
 
         The caller overlaps this with its own per-line access cost: an
         uncontended access finishes at its core-side cost; a contended
-        one waits for the controller's FIFO.
+        one waits for the controller's FIFO. ``at`` evaluates the
+        reservation as of a future instant (the accumulated time inside
+        a fused delay chain) — bitwise the result of calling with the
+        clock already advanced there.
         """
-        link = self.links[self.controller_of(core_id)]
-        arrival = link._occupy(nbytes)
-        wait = max(0.0, arrival - self.device.sim.now)
+        link = self._link_memo.get(core_id)
+        if link is None:
+            link = self.links[self.controller_of(core_id)]
+            self._link_memo[core_id] = link
+        if at is None:
+            at = self.device.sim.now
+        arrival = link._occupy(nbytes, at=at)
+        wait = max(0.0, arrival - at)
         self.fifo_wait_ns += wait
         if self._obs.enabled:
             self._wait_hist.observe(wait)

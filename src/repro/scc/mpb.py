@@ -73,6 +73,11 @@ class MPBMemory:
         self._store = np.zeros(self._num_cores * self._lmb, np.uint8)
         # Watch signals keyed by flat byte address (flags are single bytes).
         self._watches: dict[int, Signal] = {}
+        # Watchpoints live on flag bytes (the SF region at the top of each
+        # LMB half); payload-area writes skip the pulse scan entirely
+        # unless someone actually watched a payload byte.
+        self._payload_end = params.mpb_payload_bytes
+        self._payload_watched = False
         self.write_count = 0
         self.read_count = 0
 
@@ -121,7 +126,8 @@ class MPBMemory:
         base = self.check_span(addr, n)
         self._store[base : base + n] = src
         self.write_count += 1
-        self._pulse_span(base, base + n)
+        if self._payload_watched or addr.offset + n > self._payload_end:
+            self._pulse_span(base, base + n)
 
     def _pulse_span(self, base: int, end: int) -> None:
         """Pulse watch signals whose byte falls inside [base, end).
@@ -171,6 +177,8 @@ class MPBMemory:
         if signal is None:
             signal = self.sim.signal(name=f"mpb{self.device_id}.watch@{flat_addr}")
             self._watches[flat_addr] = signal
+            if addr.offset < self._payload_end:
+                self._payload_watched = True
         return signal
 
     # -- region helpers ------------------------------------------------------------

@@ -34,6 +34,10 @@ class SystemInterface:
         self.tile = params.tile_at(x, y)
         #: Set when the host attaches this device to a PCIe cable.
         self.cable: Optional["PCIeCable"] = None
+        # mesh_to_sif_ns is pure in (core_id, nbytes) for fixed params and
+        # the host path recomputes it for the same few request shapes on
+        # every transaction — memoize the exact float.
+        self._mesh_ns_memo: dict[tuple[int, int], float] = {}
 
     @property
     def connected(self) -> bool:
@@ -47,9 +51,15 @@ class SystemInterface:
 
     def mesh_to_sif_ns(self, core_id: int, nbytes: int) -> float:
         """Analytic mesh traversal cost core-tile → SIF for ``nbytes``."""
-        params = self.device.params
-        hops = self.hops_from_core(core_id)
-        flits = max(1, -(-nbytes // 32))
-        return params.mesh_clock.cycles(
-            params.mesh_hop_mesh_cycles * hops + params.mesh_flit_mesh_cycles * flits
-        )
+        key = (core_id, nbytes)
+        cost = self._mesh_ns_memo.get(key)
+        if cost is None:
+            params = self.device.params
+            hops = self.hops_from_core(core_id)
+            flits = max(1, -(-nbytes // 32))
+            cost = params.mesh_clock.cycles(
+                params.mesh_hop_mesh_cycles * hops
+                + params.mesh_flit_mesh_cycles * flits
+            )
+            self._mesh_ns_memo[key] = cost
+        return cost

@@ -30,16 +30,21 @@ class Clock:
     def __post_init__(self) -> None:
         if self.freq_mhz <= 0:
             raise ValueError(f"frequency must be positive, got {self.freq_mhz}")
+        # The period is read on every cycles() conversion — the hottest
+        # float in the timing model — so it is computed once here. The
+        # dataclass is frozen, hence object.__setattr__; the cache is not
+        # a field, so eq/hash/repr still key on freq_mhz alone.
+        object.__setattr__(self, "_period_ns", 1000.0 / self.freq_mhz)
 
     @property
     def period_ns(self) -> float:
         """Duration of one cycle in nanoseconds."""
-        return 1000.0 / self.freq_mhz
+        return self._period_ns
 
     def cycles(self, n: float) -> float:
         """Convert ``n`` cycles of this domain to nanoseconds."""
-        return n * self.period_ns
+        return n * self._period_ns
 
     def to_cycles(self, ns: float) -> float:
         """Convert nanoseconds to (fractional) cycles of this domain."""
-        return ns / self.period_ns
+        return ns / self._period_ns

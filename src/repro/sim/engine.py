@@ -6,6 +6,21 @@ Python generator that yields timing commands:
 
 * a bare ``float``/``int`` — resume the process that many simulated
   nanoseconds later (the allocation-free hot path).
+* a ``tuple`` of such numbers — a *fused delay chain*: sleep each element
+  in order with **no observable side effects in between** (the yielding
+  code guarantees this; see DESIGN.md §12). By default the engine folds
+  the whole chain into a single kernel wake-up at the accumulated end
+  time ``((now + d0) + d1) + …`` — bit-identical to sleeping the
+  elements one by one, because the accumulation uses the exact same
+  float-addition order the per-element wake-ups would. With fusion
+  disabled (``REPRO_FUSE=0`` or ``Simulator(fuse_delays=False)``) each
+  element is replayed as its own wake-up, reproducing the legacy
+  per-yield event stream exactly. The chain may instead *start* with an
+  :class:`Event`, :class:`Signal` or :class:`Process`: the process then
+  parks until the head fires and sleeps the remaining elements from the
+  trigger instant — the flag-wait idiom ``yield (watch, poll_ns)``. The
+  head's value is discarded (the resume delivers ``None``), so only
+  value-free waits qualify.
 * ``Delay(ns)``        — the same, as an explicit command object.
 * an :class:`Event`    — resume when the event is triggered; ``yield`` returns
   the event's value.
@@ -34,6 +49,7 @@ keeps every backend's simulated fingerprints bit-identical.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional, Union
 
@@ -48,10 +64,25 @@ from .kernel import (
 __all__ = [
     "Delay",
     "Event",
+    "FUSE_ENV_VAR",
     "Process",
     "Simulator",
     "TimerHandle",
 ]
+
+#: Environment variable disabling delay fusion (``0``/``false``/``off``):
+#: fused delay chains are then replayed one kernel wake-up per element,
+#: reproducing the pre-fusion event stream bit for bit — the reference
+#: side of the paired fingerprint check in ``tools/perf_gate.py``.
+FUSE_ENV_VAR = "REPRO_FUSE"
+
+
+def _fuse_default() -> bool:
+    return os.environ.get(FUSE_ENV_VAR, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+    )
 
 
 @dataclass(frozen=True)
@@ -104,8 +135,12 @@ class Event:
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
         for proc in waiters:
-            self.sim._schedule(0.0, proc, value)
+            if proc.__class__ is _ChainWaiter:
+                proc.wake(sim, value)
+            else:
+                sim._schedule(0.0, proc, value)
         callbacks, self._callbacks = self._callbacks, []
         for cb in callbacks:
             cb(value)
@@ -147,8 +182,12 @@ class Signal:
 
     def pulse(self, value: Any = None) -> None:
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
         for proc in waiters:
-            self.sim._schedule(0.0, proc, value)
+            if proc.__class__ is _ChainWaiter:
+                proc.wake(sim, value)
+            else:
+                sim._schedule(0.0, proc, value)
         callbacks, self._once = self._once, []
         for cb in callbacks:
             cb()
@@ -166,10 +205,12 @@ class Signal:
         return True
 
     def discard_waiter(self, proc: "Process") -> None:
-        try:
-            self._waiters.remove(proc)
-        except ValueError:
-            pass
+        self._waiters = [
+            w
+            for w in self._waiters
+            if w is not proc
+            and not (w.__class__ is _ChainWaiter and w.proc is proc)
+        ]
 
 
 # Type-keyed yield dispatch: one dict lookup on type(command) replaces
@@ -180,8 +221,9 @@ _KIND_DELAY = 1
 _KIND_EVENT = 2
 _KIND_SIGNAL = 3
 _KIND_PROCESS = 4
+_KIND_CHAIN = 5
 
-_YIELD_KINDS: dict[type, int] = {}
+_YIELD_KINDS: dict[type, int] = {tuple: _KIND_CHAIN}
 
 
 def _resolve_yield_kind(command: Any) -> int:
@@ -196,6 +238,8 @@ def _resolve_yield_kind(command: Any) -> int:
         kind = _KIND_SIGNAL
     elif isinstance(command, Process):
         kind = _KIND_PROCESS
+    elif isinstance(command, tuple):
+        kind = _KIND_CHAIN
     else:
         return -1
     _YIELD_KINDS[command.__class__] = kind
@@ -210,7 +254,9 @@ class Process:
     process object from another process.
     """
 
-    __slots__ = ("sim", "name", "gen", "done", "_failure", "_waiting_on", "_lane")
+    __slots__ = (
+        "sim", "name", "gen", "done", "_failure", "_waiting_on", "_lane", "_source",
+    )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str):
         self.sim = sim
@@ -221,6 +267,9 @@ class Process:
         self._waiting_on: Any = None
         #: Kernel scheduling lane (shard affinity); 0 under SerialKernel.
         self._lane = 0
+        #: Event-source index (kernel.events{source=...} attribution),
+        #: assigned at spawn from the normalized process name.
+        self._source = 0
 
     @property
     def finished(self) -> bool:
@@ -242,7 +291,24 @@ class Process:
         sim = self.sim
         self._waiting_on = None
         try:
-            if payload.__class__ is _Throw:
+            cls = payload.__class__
+            if cls is _Chain:
+                # Unfused replay of a delay chain: sleep the next element
+                # as its own kernel wake-up *without* resuming the
+                # generator — the chain's contract is that nothing
+                # observable happens between elements, so the only job
+                # here is to reproduce the legacy per-yield timing and
+                # event stream exactly.
+                chain = payload.chain
+                index = payload.index
+                nxt = index + 1
+                sim._schedule(
+                    chain[index],
+                    self,
+                    _Chain(chain, nxt) if nxt < len(chain) else None,
+                )
+                return
+            if cls is _Throw:
                 command = self.gen.throw(payload.exc)
             else:
                 command = self.gen.send(payload)
@@ -280,6 +346,75 @@ class Process:
             self._waiting_on = command
             if not command.done._add_waiter(self):
                 sim._schedule(0.0, self, command.done._value)
+        elif kind == _KIND_CHAIN:
+            if not command:
+                raise InvalidYield(
+                    f"process {self.name!r} yielded an empty delay chain"
+                )
+            head = command[0]
+            hkind = _YIELD_KINDS.get(head.__class__)
+            if hkind is None:
+                hkind = _resolve_yield_kind(head)
+            if hkind == _KIND_EVENT or hkind == _KIND_SIGNAL or hkind == _KIND_PROCESS:
+                # Waitable-headed chain: park on the head, then sleep the
+                # tail from the trigger instant (the head's value is
+                # discarded — the final resume delivers None).
+                for d in command[1:]:
+                    if d < 0:
+                        raise InvalidYield(
+                            f"process {self.name!r} yielded a negative delay "
+                            f"{d!r} inside a chain"
+                        )
+                waitable = head.done if hkind == _KIND_PROCESS else head
+                self._waiting_on = waitable
+                if not waitable._add_waiter(_ChainWaiter(self, command)):
+                    # Already triggered: the wake is immediate, exactly as
+                    # the plain ``yield head`` resume would be.
+                    stored = waitable._value
+                    if stored.__class__ is _Throw:
+                        sim._schedule(0.0, self, stored)
+                    elif sim._fuse:
+                        t = sim.now
+                        for d in command[1:]:
+                            t = t + d
+                        kernel = sim.kernel
+                        kernel.fused_yields += len(command) - 1
+                        kernel.schedule_at(t, self, None)
+                    else:
+                        sim._schedule(
+                            0.0,
+                            self,
+                            _Chain(command, 1) if len(command) > 1 else None,
+                        )
+                return
+            if sim._fuse:
+                # Accumulate at schedule time in the exact sequential
+                # order the per-element wake-ups would use — ((t+a)+b)+c,
+                # never t + (a+b+c) — so the fused end time is bitwise
+                # the unfused one.
+                t = sim.now
+                for d in command:
+                    if d < 0:
+                        raise InvalidYield(
+                            f"process {self.name!r} yielded a negative delay "
+                            f"{d!r} inside a chain"
+                        )
+                    t = t + d
+                kernel = sim.kernel
+                kernel.fused_yields += len(command) - 1
+                kernel.schedule_at(t, self, None)
+            else:
+                for d in command:
+                    if d < 0:
+                        raise InvalidYield(
+                            f"process {self.name!r} yielded a negative delay "
+                            f"{d!r} inside a chain"
+                        )
+                sim._schedule(
+                    command[0],
+                    self,
+                    _Chain(command, 1) if len(command) > 1 else None,
+                )
         else:
             raise InvalidYield(
                 f"process {self.name!r} yielded unsupported object {command!r}"
@@ -297,6 +432,88 @@ class _Throw:
 
     def __init__(self, exc: BaseException):
         self.exc = exc
+
+
+class _Chain:
+    """Internal payload: remaining elements of an unfused delay chain."""
+
+    __slots__ = ("chain", "index")
+
+    def __init__(self, chain: tuple, index: int):
+        self.chain = chain
+        self.index = index
+
+
+class _ChainWaiter:
+    """A parked waitable-headed chain: wakes ``proc`` tail-delays after
+    the head fires.
+
+    Fused, the tail accumulates from the trigger instant in sequential
+    float order — bitwise the time the per-element wake-ups would reach.
+    Unfused, the head's wake replays the tail as individual kernel
+    events via :class:`_Chain`, reproducing the legacy stream.
+    """
+
+    __slots__ = ("proc", "chain")
+
+    def __init__(self, proc: Process, chain: tuple):
+        self.proc = proc
+        self.chain = chain
+
+    def wake(self, sim: "Simulator", value: Any = None) -> None:
+        chain = self.chain
+        if value.__class__ is _Throw:
+            # A failed awaited process: deliver the exception at the
+            # trigger instant instead of sleeping the tail.
+            sim._schedule(0.0, self.proc, value)
+            return
+        if sim._fuse:
+            t = sim.now
+            for d in chain[1:]:
+                t = t + d
+            kernel = sim.kernel
+            kernel.fused_yields += len(chain) - 1
+            kernel.schedule_at(t, self.proc, None)
+        else:
+            sim._schedule(
+                0.0,
+                self.proc,
+                _Chain(chain, 1) if len(chain) > 1 else None,
+            )
+
+
+class _NeverTriggered:
+    """Permanent not-done sentinel shared by all callback timers."""
+
+    __slots__ = ()
+    _triggered = False
+    triggered = False
+
+
+_LIVE = _NeverTriggered()
+
+
+class _CallbackTimer:
+    """A one-shot timer entry without generator machinery.
+
+    The fused :meth:`Simulator.call_at` path queues these directly: the
+    dispatch loops treat them like processes (same ``done``-staleness
+    check, same source attribution), but firing is a single call — no
+    generator, no Event, no live-set bookkeeping. Not cancellable; the
+    cancellable :meth:`Simulator.after` keeps the full process path.
+    """
+
+    __slots__ = ("fn", "_lane", "_source")
+
+    done = _LIVE
+
+    def __init__(self, fn: Callable[[], None], lane: int, source: int):
+        self.fn = fn
+        self._lane = lane
+        self._source = source
+
+    def _step(self, payload: Any) -> None:
+        self.fn()
 
 
 class TimerHandle:
@@ -352,12 +569,20 @@ class Simulator:
         ``None`` for the serial default. Every backend dispatches in the
         same global ``(time, seq)`` order, so simulated results are
         backend-independent bit for bit.
+    fuse_delays:
+        When True (the default), fused delay chains (tuple yields) and
+        timer arming collapse into single kernel wake-ups; when False
+        every chain element is replayed as its own wake-up, reproducing
+        the legacy per-yield event stream. ``None`` reads the
+        ``REPRO_FUSE`` environment variable (default on). Simulated
+        times are bit-identical either way — only event counts differ.
     """
 
     def __init__(
         self,
         fail_fast: bool = True,
         kernel: Union[Kernel, str, None] = None,
+        fuse_delays: Optional[bool] = None,
     ):
         self.now: float = 0.0
         self.fail_fast = fail_fast
@@ -367,10 +592,16 @@ class Simulator:
         #: call ``sim._schedule`` directly, which resolves to the bound
         #: kernel method with no extra indirection.
         self._schedule = self.kernel.schedule
+        self._fuse = _fuse_default() if fuse_delays is None else bool(fuse_delays)
         self._live_processes: set[Process] = set()
         self._failures: list[Process] = []
         self._spawned = 0
         self.events_processed = 0
+
+    @property
+    def fuse_delays(self) -> bool:
+        """Whether delay chains are fused into single wake-ups."""
+        return self._fuse
 
     # -- process management -------------------------------------------------
 
@@ -395,8 +626,26 @@ class Simulator:
         proc._lane = (
             kernel.current_lane if shard is None else kernel.lane_for(shard)
         )
+        proc._source = kernel.source_of(proc.name)
         self._live_processes.add(proc)
         self._schedule(0.0, proc, None)
+        return proc
+
+    def _spawn_at(self, delay_ns: float, gen: Generator, name: str) -> Process:
+        """Spawn ``gen`` with its *first* resume at ``now + delay_ns``.
+
+        Timer fast path (fusion mode only): where :meth:`spawn` costs a
+        zero-delay dispatch that immediately yields the real delay, this
+        schedules the sole wake-up directly — one kernel event instead of
+        two, at the bitwise-identical time ``now + delay_ns``.
+        """
+        self._spawned += 1
+        proc = Process(self, gen, name)
+        kernel = self.kernel
+        proc._lane = kernel.current_lane
+        proc._source = kernel.source_of(name)
+        self._live_processes.add(proc)
+        self._schedule(delay_ns, proc, None)
         return proc
 
     def event(self, name: str = "event") -> Event:
@@ -428,6 +677,19 @@ class Simulator:
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run a plain callback at absolute simulated time ``when``."""
+        if self._fuse:
+            # One wake-up at max(0, when - now) from the current instant —
+            # the same float the legacy spawn-then-yield path computes at
+            # its zero-delay first resume, so the firing time is bitwise
+            # unchanged; only the bookkeeping event disappears. The entry
+            # is a bare callback record, not a process (_CallbackTimer).
+            self._spawned += 1
+            kernel = self.kernel
+            timer = _CallbackTimer(
+                fn, kernel.current_lane, kernel.source_of("call_at")
+            )
+            self._schedule(max(0.0, when - self.now), timer, None)
+            return
 
         def _runner() -> Generator:
             yield max(0.0, when - self.now)
@@ -448,6 +710,20 @@ class Simulator:
         """
         if delay_ns < 0:
             raise ValueError(f"negative timer delay: {delay_ns}")
+
+        if self._fuse:
+            # Timer fast path: arm the single wake-up directly (see
+            # _spawn_at). Cancellation is unchanged — TimerHandle works
+            # through proc.done and the kernel's stale-wakeup check.
+            def _fast_runner() -> Generator:
+                handle.fired = True
+                fn()
+                return
+                yield  # pragma: no cover - makes this a generator
+
+            proc = self._spawn_at(delay_ns, _fast_runner(), f"daemon:{name}")
+            handle = TimerHandle(proc)
+            return handle
 
         def _runner() -> Generator:
             yield delay_ns

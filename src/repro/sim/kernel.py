@@ -83,6 +83,16 @@ class Kernel:
     def __init__(self) -> None:
         self.sim: Optional["Simulator"] = None
         self._seq = 0
+        #: Kernel wake-ups saved by delay fusion (chain elements folded
+        #: into their chain's single wake-up, len(chain)-1 per chain).
+        self.fused_yields = 0
+        # Event-source attribution: process names are normalized to a
+        # small label set at spawn ("rank-17" -> "rank") and interned to
+        # an index, so the dispatch loops pay one list-index increment
+        # per event instead of a dict lookup on a string.
+        self._source_ids: dict[str, int] = {"proc": 0}
+        self._source_names: list[str] = ["proc"]
+        self._source_events: list[int] = [0]
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -108,7 +118,33 @@ class Kernel:
         """Map a shard affinity hint (device id, or None) to a lane."""
         return 0
 
+    def source_of(self, name: str) -> int:
+        """Intern a process name's event-source label, returning its index.
+
+        The label is the name up to the first ``.`` with any trailing
+        digits and separators stripped (``"rank-17"`` → ``"rank"``,
+        ``"proc-2041"`` → ``"proc"``), so the attribution table stays a
+        handful of entries however many processes a run spawns.
+        """
+        ids = self._source_ids
+        idx = ids.get(name)
+        if idx is not None:
+            return idx
+        label = name.partition(".")[0].rstrip("0123456789").rstrip("-_") or name
+        idx = ids.get(label)
+        if idx is None:
+            idx = len(self._source_names)
+            self._source_names.append(label)
+            self._source_events.append(0)
+            ids[label] = idx
+        ids[name] = idx
+        return idx
+
     def schedule(self, delay: float, proc: "Process", payload: Any) -> None:
+        raise NotImplementedError
+
+    def schedule_at(self, t: float, proc: "Process", payload: Any) -> None:
+        """Schedule a wake-up at *absolute* time ``t`` (fused delay chains)."""
         raise NotImplementedError
 
     def loop(
@@ -120,7 +156,12 @@ class Kernel:
         raise NotImplementedError
 
     def metrics_snapshot(self) -> dict[str, float]:
-        return {}
+        snap = {"kernel.fused_yields": float(self.fused_yields)}
+        names = self._source_names
+        for idx, count in enumerate(self._source_events):
+            if count:
+                snap[f"kernel.events{{source={names[idx]}}}"] = float(count)
+        return snap
 
 
 class SerialKernel(Kernel):
@@ -153,6 +194,13 @@ class SerialKernel(Kernel):
         else:
             heapq.heappush(self._queue, (now + delay, self._seq, proc, payload))
 
+    def schedule_at(self, t: float, proc: "Process", payload: Any) -> None:
+        self._seq += 1
+        if t == self.sim.now:
+            self._fast.append((t, self._seq, proc, payload))
+        else:
+            heapq.heappush(self._queue, (t, self._seq, proc, payload))
+
     def loop(
         self,
         until: Optional[float],
@@ -169,6 +217,7 @@ class SerialKernel(Kernel):
         queue = self._queue
         fast = self._fast
         pop = heapq.heappop
+        sources = self._source_events
         events = 0
         while True:
             if stop is not None and stop[0]:
@@ -197,6 +246,7 @@ class SerialKernel(Kernel):
             sim.now = entry[0]
             proc._step(entry[3])
             sim.events_processed += 1
+            sources[proc._source] += 1
             if max_events is not None:
                 events += 1
                 if events >= max_events:
@@ -322,6 +372,24 @@ class ShardedKernel(Kernel):
             if look is not None and t - now < look:
                 self._subhorizon_wakes += 1
 
+    def schedule_at(self, t: float, proc: "Process", payload: Any) -> None:
+        self._seq = seq = self._seq + 1
+        lane = proc._lane
+        if not self._lane_used[lane]:
+            self._lane_used[lane] = True
+            self._active.append((lane, self._fasts[lane], self._heaps[lane]))
+        now = self.sim.now
+        if t == now:
+            self._fasts[lane].append((t, seq, proc, payload))
+        else:
+            heapq.heappush(self._heaps[lane], (t, seq, proc, payload))
+        if lane != self._running and t < self._limit_t:
+            self._preempt = True
+            self._preempts += 1
+            look = self.lookahead_ns
+            if look is not None and t - now < look:
+                self._subhorizon_wakes += 1
+
     # -- dispatch -------------------------------------------------------------
 
     def _scan(self) -> tuple[int, float, float, int]:
@@ -382,6 +450,7 @@ class ShardedKernel(Kernel):
         """
         sim = self.sim
         pop = heapq.heappop
+        sources = self._source_events
         until_f = inf if until is None else until
         try:
             while True:
@@ -428,6 +497,7 @@ class ShardedKernel(Kernel):
                     sim.now = t
                     proc._step(entry[3])
                     dispatched += 1
+                    sources[proc._source] += 1
                     if self._preempt:
                         break
                 sim.events_processed += dispatched
@@ -451,6 +521,7 @@ class ShardedKernel(Kernel):
         """
         sim = self.sim
         pop = heapq.heappop
+        sources = self._source_events
         events = 0
         try:
             while True:
@@ -495,6 +566,7 @@ class ShardedKernel(Kernel):
                     sim.now = t
                     proc._step(entry[3])
                     sim.events_processed += 1
+                    sources[proc._source] += 1
                     self._lane_events[best_lane] += 1
                     if max_events is not None:
                         events += 1
@@ -514,12 +586,13 @@ class ShardedKernel(Kernel):
 
     def metrics_snapshot(self) -> dict[str, float]:
         """Sync-overhead counters of the conservative window protocol."""
-        snap = {
+        snap = super().metrics_snapshot()
+        snap.update({
             "kernel.shards": float(self.num_shards),
             "kernel.windows": float(self._windows),
             "kernel.preempts": float(self._preempts),
             "kernel.stale_discards": float(self._stale_discards),
-        }
+        })
         if self.lookahead_ns is not None:
             snap["kernel.lookahead_ns"] = self.lookahead_ns
             snap["kernel.subhorizon_wakes"] = float(self._subhorizon_wakes)

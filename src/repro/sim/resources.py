@@ -53,6 +53,12 @@ class Link:
         self.bandwidth_bpns = bandwidth_bpns
         self.overhead_ns = overhead_ns
         self._free_at = 0.0
+        # Serialization-time memo: overhead + extra + nbytes/bandwidth is
+        # a pure function of (nbytes, extra) for a link's fixed rate, and
+        # hot paths move a handful of distinct sizes (chunk, line, header)
+        # millions of times. Keyed floats reproduce the uncached
+        # expression bitwise — it is the same expression, evaluated once.
+        self._serialization_memo: dict[tuple[int, float], float] = {}
         self.bytes_carried = 0
         self.transfers = 0
         #: Cumulative serialization time (overhead + bytes/bandwidth) the
@@ -67,12 +73,29 @@ class Link:
 
     # -- timing core ---------------------------------------------------------
 
-    def _occupy(self, nbytes: int, extra_overhead_ns: float = 0.0) -> float:
-        """Reserve the link for one transfer; return its arrival time."""
+    def _occupy(
+        self,
+        nbytes: int,
+        extra_overhead_ns: float = 0.0,
+        at: Optional[float] = None,
+    ) -> float:
+        """Reserve the link for one transfer; return its arrival time.
+
+        ``at`` evaluates the reservation as of a future instant (the
+        accumulated time inside a fused delay chain) instead of
+        ``sim.now`` — bitwise the result of the same call made with the
+        clock already advanced to ``at``.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
-        start = max(self.sim.now, self._free_at)
-        serialization = self.overhead_ns + extra_overhead_ns + nbytes / self.bandwidth_bpns
+        start = max(self.sim.now if at is None else at, self._free_at)
+        key = (nbytes, extra_overhead_ns)
+        serialization = self._serialization_memo.get(key)
+        if serialization is None:
+            serialization = (
+                self.overhead_ns + extra_overhead_ns + nbytes / self.bandwidth_bpns
+            )
+            self._serialization_memo[key] = serialization
         self._free_at = start + serialization
         self.bytes_carried += nbytes
         self.transfers += 1

@@ -181,21 +181,19 @@ class RemotePutTransport(Transport):
     def _recv_stop_and_wait(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
         env, fl, me = comm.env, comm.flags, comm.rank
         sent = fl.sent(me, src)
+        ready = fl.ready(src, me)
+        my_buf = comm.comm_buffer_addr(me)
         out = np.empty(nbytes, np.uint8)
         for start, size in comm.iter_chunk_sizes(nbytes):
             grant = comm.next_seq(src, me, "ready")
             seq = comm.next_seq(src, me, "sent")
             ack = comm.next_seq(src, me, "ready")
-            yield from env.set_flag(fl.ready(src, me), grant)
+            yield from env.set_flag(ready, grant)
             yield from env.wait_flag(sent, seq)
             if size:
-                yield from env.cl1invmb()
-                chunk = yield from env.mpb_read(
-                    comm.comm_buffer_addr(me), size, assume_cold=True
-                )
-                yield from env.private_write(size)
+                chunk = yield from env.get_chunk(my_buf, size)
                 out[start : start + size] = chunk
-            yield from env.set_flag(fl.ready(src, me), ack)
+            yield from env.set_flag(ready, ack)
         return out
 
     # -- upper-bound variant: FPGA fast acks, two-slot streaming --------------------
@@ -221,16 +219,18 @@ class RemotePutTransport(Transport):
             comm, me, dest, len(data)
         )
         ready = fl.ready(me, dest)
+        sent = fl.sent(dest, me)
+        grant_preds = [reached(g) for g in grants]
         offset = 0
         for k, size in enumerate(transfers):
-            yield from env.wait_flag_pred(ready, reached(grants[k]))
+            yield from env.wait_flag_pred(ready, grant_preds[k])
             if size:
                 chunk = data[offset : offset + size]
                 yield from env.private_read(size)
                 yield from env.mpb_write(
                     comm.comm_buffer_addr(dest, (k % 2) * slot), chunk
                 )
-            yield from env.set_flag(fl.sent(dest, me), seqs[k])
+            yield from env.set_flag(sent, seqs[k])
             offset += size
         yield from env.wait_flag(ready, final_ack)
 
@@ -240,24 +240,26 @@ class RemotePutTransport(Transport):
             comm, src, me, nbytes
         )
         sent = fl.sent(me, src)
+        ready = fl.ready(src, me)
+        seq_preds = [reached(s) for s in seqs]
+        slots = (
+            comm.comm_buffer_addr(me, 0),
+            comm.comm_buffer_addr(me, slot),
+        )
         out = np.empty(nbytes, np.uint8)
-        yield from env.set_flag(fl.ready(src, me), grants[0])
+        yield from env.set_flag(ready, grants[0])
         if len(transfers) > 1:
-            yield from env.set_flag(fl.ready(src, me), grants[1])
+            yield from env.set_flag(ready, grants[1])
         offset = 0
         for k, size in enumerate(transfers):
-            yield from env.wait_flag_pred(sent, reached(seqs[k]))
+            yield from env.wait_flag_pred(sent, seq_preds[k])
             if size:
-                yield from env.cl1invmb()
-                chunk = yield from env.mpb_read(
-                    comm.comm_buffer_addr(me, (k % 2) * slot), size, assume_cold=True
-                )
-                yield from env.private_write(size)
+                chunk = yield from env.get_chunk(slots[k % 2], size)
                 out[offset : offset + size] = chunk
             if k + 2 < len(transfers):
-                yield from env.set_flag(fl.ready(src, me), grants[k + 2])
+                yield from env.set_flag(ready, grants[k + 2])
             offset += size
-        yield from env.set_flag(fl.ready(src, me), final_ack)
+        yield from env.set_flag(ready, final_ack)
         return out
 
 
@@ -287,45 +289,52 @@ class VdmaTransport(Transport):
         return slot - slot % CACHE_LINE
 
     def _plan(self, comm: "Rcce", a: int, b: int, nbytes: int):
-        """Transfer/granule/seq plan — computed identically on both ends."""
+        """Transfer/granule/seq plan — computed identically on both ends.
+
+        ``gsizes[k]`` is transfer ``k``'s granule-size list (``[0]`` for
+        an empty message), computed once here so the receive loop does
+        not re-derive it per transfer.
+        """
         slot = self._slot_bytes(comm)
         transfers = _granule_sizes(nbytes, slot) if nbytes else [0]
         granule = self.host.params.granule
+        gsizes = [_granule_sizes(size, granule) or [0] for size in transfers]
         grants = [comm.next_seq(a, b, "ready") for _ in transfers]
         final_ack = comm.next_seq(a, b, "ready")
         progress = [
-            [comm.next_seq(a, b, "sent") for _ in _granule_sizes(size, granule)]
-            if size
-            else [comm.next_seq(a, b, "sent")]
-            for size in transfers
+            [comm.next_seq(a, b, "sent") for _ in gsizes[k]]
+            for k in range(len(transfers))
         ]
-        return slot, granule, transfers, grants, final_ack, progress
+        return slot, granule, transfers, gsizes, grants, final_ack, progress
 
     def send(self, comm: "Rcce", dest: int, data: np.ndarray) -> Generator:
         env, fl, me = comm.env, comm.flags, comm.rank
-        slot, granule, transfers, grants, final_ack, progress = self._plan(
+        slot, granule, transfers, gsizes, grants, final_ack, progress = self._plan(
             comm, me, dest, len(data)
         )
         done_flag = fl.misc(me, SLOT_VDMA_DONE)
         ready = fl.ready(me, dest)
+        sent = fl.sent(dest, me)
         done_seqs = [comm.next_seq(me, me, "vdma_done") for _ in transfers]
+        done_preds = [reached(s) for s in done_seqs]
+        grant_preds = [reached(g) for g in grants]
+        slot_addrs = (env.local_addr(0), env.local_addr(slot))
         offset = 0
         for k, size in enumerate(transfers):
             if k >= 2:
                 # Our slot k%2 is reusable once transfer k-2 was pulled
                 # and committed (the completion flag covers both).
-                yield from env.wait_flag_pred(done_flag, reached(done_seqs[k - 2]))
-            yield from env.wait_flag_pred(ready, reached(grants[k]))  # b1
+                yield from env.wait_flag_pred(done_flag, done_preds[k - 2])
+            yield from env.wait_flag_pred(ready, grant_preds[k])  # b1
             slot_off = (k % 2) * slot
             if size:
                 chunk = data[offset : offset + size]
-                yield from env.private_read(size)
-                yield from env.mpb_write(env.local_addr(slot_off), chunk)
+                yield from env.put_chunk(slot_addrs[k % 2], chunk)
             cmd = VdmaCommand(
                 dst=comm.comm_buffer_addr(dest, slot_off),
                 completion_flag=done_flag,
                 completion_value=done_seqs[k],
-                progress_flag=fl.sent(dest, me),
+                progress_flag=sent,
                 progress_values=tuple(progress[k]),
                 granule=granule,
             )
@@ -342,41 +351,42 @@ class VdmaTransport(Transport):
             )
             if not size:
                 # Zero-byte message: signal data-ready directly.
-                yield from env.set_flag(fl.sent(dest, me), progress[k][0])
+                yield from env.set_flag(sent, progress[k][0])
             offset += size
         if transfers[-1]:
-            yield from env.wait_flag_pred(done_flag, reached(done_seqs[-1]))
+            yield from env.wait_flag_pred(done_flag, done_preds[-1])
         yield from env.wait_flag(ready, final_ack)
 
     def recv(self, comm: "Rcce", src: int, nbytes: int) -> Generator:
         env, fl, me = comm.env, comm.flags, comm.rank
-        slot, granule, transfers, grants, final_ack, progress = self._plan(
+        slot, granule, transfers, gsizes, grants, final_ack, progress = self._plan(
             comm, src, me, nbytes
         )
         sent = fl.sent(me, src)
+        ready = fl.ready(src, me)
+        progress_preds = [[reached(p) for p in plist] for plist in progress]
         out = np.empty(nbytes, np.uint8)
         # Grant the first two slots up front (double buffering).
-        yield from env.set_flag(fl.ready(src, me), grants[0])
+        yield from env.set_flag(ready, grants[0])
         if len(transfers) > 1:
-            yield from env.set_flag(fl.ready(src, me), grants[1])
+            yield from env.set_flag(ready, grants[1])
         offset = 0
         for k, size in enumerate(transfers):
             slot_off = (k % 2) * slot
             drained = 0
-            for g, gsize in enumerate(_granule_sizes(size, granule) or [0]):
-                yield from env.wait_flag_pred(sent, reached(progress[k][g]))
+            preds = progress_preds[k]
+            for g, gsize in enumerate(gsizes[k]):
+                yield from env.wait_flag_pred(sent, preds[g])
                 if gsize:
-                    yield from env.cl1invmb()
-                    chunk = yield from env.mpb_read(
-                        env.local_addr(slot_off + drained), gsize, assume_cold=True
+                    chunk = yield from env.get_chunk(
+                        env.local_addr(slot_off + drained), gsize
                     )
-                    yield from env.private_write(gsize)
                     out[offset + drained : offset + drained + gsize] = chunk
                     drained += gsize
             if k + 2 < len(transfers):
-                yield from env.set_flag(fl.ready(src, me), grants[k + 2])
+                yield from env.set_flag(ready, grants[k + 2])
             offset += size
-        yield from env.set_flag(fl.ready(src, me), final_ack)
+        yield from env.set_flag(ready, final_ack)
         return out
 
 
@@ -429,11 +439,7 @@ class DirectSmallTransport(Transport):
         if nbytes:
             if tracing:
                 trace.emit(env.sim.now, "protocol", me, "recv", "get_start", 0)
-            yield from env.cl1invmb()
-            chunk = yield from env.mpb_read(
-                comm.comm_buffer_addr(me), nbytes, assume_cold=True
-            )
-            yield from env.private_write(nbytes)
+            chunk = yield from env.get_chunk(comm.comm_buffer_addr(me), nbytes)
             out[:] = chunk
             if tracing:
                 trace.emit(env.sim.now, "protocol", me, "recv", "get_done", 0)

@@ -36,6 +36,11 @@ def test_quickstart_observability_outputs(tmp_path):
     doc = json.loads(metrics_path.read_text())
     assert validate(doc) == []
     assert doc["metrics"]["pcie.bytes{device=0,dir=up}"] > 0
+    # Event-source attribution reaches the exported (schema-valid) JSON.
+    assert doc["metrics"]["kernel.fused_yields"] >= 0
+    assert any(
+        key.startswith("kernel.events{source=") for key in doc["metrics"]
+    )
     trace = json.loads(trace_path.read_text())
     assert trace["traceEvents"]
     for event in trace["traceEvents"]:

@@ -100,6 +100,55 @@ def test_next_seq_stays_in_range(seq):
     assert 1 <= nxt <= SEQ_MOD
 
 
+# -- delay fusion ----------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(0.0, 1e7, allow_nan=False, allow_infinity=False),
+        min_size=2,
+        max_size=8,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_fused_chain_time_is_bitwise_the_sequential_sum(delays):
+    """``yield (d0, d1, ...)`` lands at ``((now+d0)+d1)+...`` exactly.
+
+    The fused wake-up time must be the *sequential* float accumulation —
+    bitwise equal to yielding each delay on its own — never a reordered
+    or vectorized sum (float addition is not associative).
+    """
+    import struct
+
+    chain = tuple(delays)
+
+    def fused_prog():
+        yield chain
+
+    def sequential_prog():
+        for d in delays:
+            yield d
+
+    fused = Simulator(fuse_delays=True)
+    fused.spawn(fused_prog())
+    fused.run()
+    unfused = Simulator(fuse_delays=False)
+    unfused.spawn(fused_prog())
+    unfused.run()
+    plain = Simulator()
+    plain.spawn(sequential_prog())
+    plain.run()
+
+    expected = 0.0
+    for d in delays:
+        expected = expected + d
+    pack = lambda x: struct.pack("<d", x)  # noqa: E731 - bitwise compare
+    assert pack(fused.now) == pack(unfused.now) == pack(plain.now) == pack(expected)
+    # The chain costs exactly one wake-up fused, one per element unfused.
+    assert unfused.events_processed - fused.events_processed == len(delays) - 1
+    assert fused.kernel.fused_yields == len(delays) - 1
+
+
 # -- XY routing --------------------------------------------------------------------
 
 

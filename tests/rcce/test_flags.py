@@ -67,6 +67,38 @@ def test_reached_predicate_with_wrap():
         reached(0)
 
 
+def test_reached_at_the_254_wrap_boundary():
+    """Exhaustive window check at target=254 (the wrap point) for the
+    default max_lead=8: exactly 254, 1, 2, …, 7 are in the lead window."""
+    pred = reached(target=SEQ_MOD)  # max_lead=8
+    accepted = {value for value in range(0, SEQ_MOD + 1) if pred(value)}
+    assert accepted == {254, 1, 2, 3, 4, 5, 6, 7}
+
+
+def test_reached_window_is_half_open():
+    """max_lead values past target is the first *rejected* lead."""
+    for target in (1, 250, SEQ_MOD):
+        for max_lead in (1, 4, 8):
+            pred = reached(target, max_lead=max_lead)
+            value = target
+            for lead in range(max_lead):
+                assert pred(value), (target, max_lead, lead, value)
+                value = FlagLayout.next_seq(value)
+            assert not pred(value), (target, max_lead, value)
+
+
+def test_reached_rejects_never_signalled_across_targets():
+    for target in (1, 2, 247, 253, SEQ_MOD):
+        assert not reached(target)(0)
+
+
+def test_reached_target_bounds():
+    with pytest.raises(ValueError):
+        reached(SEQ_MOD + 1)
+    with pytest.raises(ValueError):
+        reached(-3)
+
+
 def test_misc_slot_bounds(flags):
     with pytest.raises(ValueError):
         flags.misc(0, 16)

@@ -212,9 +212,29 @@ def test_sharded_metrics_report_sync_counters():
     assert total_lane_events == sim.events_processed
 
 
-def test_serial_metrics_have_no_kernel_series():
+def test_serial_metrics_have_no_sharded_series():
     sim = Simulator()
-    assert not any(k.startswith("kernel.") for k in sim.metrics_snapshot())
+    snap = sim.metrics_snapshot()
+    # The serial backend still exports the backend-independent counters
+    # (delay fusion + event-source attribution)…
+    assert snap["kernel.fused_yields"] == 0.0
+    # …but none of the sharded window-protocol series.
+    for key in ("kernel.shards", "kernel.windows", "kernel.preempts",
+                "kernel.stale_discards", "kernel.lookahead_ns"):
+        assert key not in snap
+
+
+def test_event_source_attribution():
+    sim = Simulator()
+    log = []
+    _mixed_program(sim, log)
+    sim.run()
+    snap = sim.metrics_snapshot()
+    sources = {
+        k: v for k, v in snap.items() if k.startswith("kernel.events{source=")
+    }
+    assert sources, "dispatch should attribute events to sources"
+    assert sum(sources.values()) == float(sim.events_processed)
 
 
 def test_lookahead_counts_subhorizon_wakes():
