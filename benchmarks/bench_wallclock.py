@@ -29,7 +29,9 @@ replaced, and the speedup is recomputed.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -46,6 +48,7 @@ from bench_kernel_micro import (  # noqa: E402
     yield_float_churn,
     zero_delay_churn,
 )
+from bench_serve_throughput import serve_mixed_tenants  # noqa: E402
 
 SCHEMA_VERSION = 1
 #: Allowed wall-clock regression before tools/perf_gate.py fails (15 %).
@@ -294,8 +297,28 @@ SCENARIOS = {
     "micro_router_account": router_account,
     "micro_flag_wait": flag_wait_churn,
     "micro_chunk_send": chunk_send_churn,
+    "serve_mixed_tenants": serve_mixed_tenants,
     **FAULT_SCENARIOS,
 }
+
+
+@contextlib.contextmanager
+def restore_repro_env():
+    """Undo any ``REPRO_*`` mutation a scenario makes, even on failure.
+
+    The kernel/fusion env vars are read lazily per-simulator, so a
+    scenario that pins them and then raises would silently re-backend
+    every scenario after it — and the whole measurement document would
+    be wrong without any fingerprint noticing.
+    """
+    saved = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+    try:
+        yield
+    finally:
+        for key in [k for k in os.environ if k.startswith("REPRO_")]:
+            if key not in saved:
+                del os.environ[key]
+        os.environ.update(saved)
 
 
 def run_scenarios(names: list[str], repeat: int) -> dict:
@@ -314,7 +337,8 @@ def run_scenarios(names: list[str], repeat: int) -> dict:
         for _ in range(repeat):
             t0 = time.perf_counter()
             try:
-                fp = fn()
+                with restore_repro_env():
+                    fp = fn()
             except KernelUnsupported as exc:
                 skipped = str(exc)
                 break
@@ -361,7 +385,8 @@ def collect_attribution(names: list[str]) -> dict[str, dict[str, float]]:
 
         engine.Simulator.__init__ = patched
         try:
-            SCENARIOS[name]()
+            with restore_repro_env():
+                SCENARIOS[name]()
         except KernelUnsupported:
             attribution[name] = {}
             continue
@@ -459,10 +484,15 @@ def merge_baseline(baseline: dict, results: dict) -> dict:
 
     Per scenario: ``before_wall_s`` is kept (or seeded from the old
     ``wall_s`` the first time a scenario is re-measured), ``wall_s``
-    becomes the fresh number, fingerprints are replaced.
+    becomes the fresh number, fingerprints are replaced. Baseline
+    scenarios *not* in this run (e.g. a ``--scenario``-filtered refresh)
+    are carried forward untouched, so a partial update never silently
+    drops the rest of the gate.
     """
     old = baseline.get("scenarios", {})
-    merged: dict[str, dict] = {}
+    merged: dict[str, dict] = {
+        name: dict(entry) for name, entry in old.items() if name not in results
+    }
     for name, fresh in results.items():
         entry = dict(fresh)
         prev = old.get(name, {})

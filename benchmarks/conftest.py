@@ -10,12 +10,31 @@ layout of ``schemas/run_metrics.schema.json``).
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 
 import pytest
 
 from repro.bench.runner import write_run_metrics
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_env():
+    """Restore ``REPRO_*`` env vars after every benchmark, pass or fail.
+
+    Bench scenarios may pin the kernel backend or delay fusion for a
+    measurement; a scenario that raises mid-run used to leak
+    ``REPRO_KERNEL``/``REPRO_FUSE`` into every later collection item.
+    """
+    saved = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+    try:
+        yield
+    finally:
+        for key in [k for k in os.environ if k.startswith("REPRO_")]:
+            if key not in saved:
+                del os.environ[key]
+        os.environ.update(saved)
 
 #: Per-run metrics JSON lands here (git-ignored output directory).
 OUT_DIR = Path(__file__).parent / "out"

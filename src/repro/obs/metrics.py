@@ -177,6 +177,14 @@ class Histogram(_Instrument):
             return ordered[-1]
         return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
 
+    def percentiles(self, ps: Iterable[float]) -> dict[str, float]:
+        """Several exact percentiles at once, keyed ``"p50"``/``"p99"``/…
+
+        The service layer reports latency summaries per tenant this way
+        (``serve.job_latency_ms{tenant=...}``).
+        """
+        return {f"p{p:g}": self.percentile(p) for p in ps}
+
 
 class MetricsRegistry:
     """Typed instruments of one simulator, keyed by (name, labels).

@@ -1,0 +1,74 @@
+"""Submitter-side conveniences over :class:`~repro.serve.service.SimService`.
+
+The service API is already async-native (``submit``/``JobHandle``);
+this module adds the ergonomic layer a tenant actually writes against:
+keyword submission without building :class:`JobSpec` by hand, run-to-
+completion helpers, and bulk submit/gather for load generation (the
+throughput bench is built on :meth:`ServeClient.submit_many`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.results import JobResult
+
+from .job import JobSpec
+from .service import JobHandle, SimService
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One tenant's view of a running service.
+
+    The tenant is fixed at construction; every spec submitted through
+    the client is stamped with it (a spec naming a *different* tenant is
+    rejected — multi-tenant test drivers create one client per tenant,
+    which is also the honest model of the real deployment).
+    """
+
+    def __init__(self, service: SimService, tenant: str = "default"):
+        self.service = service
+        self.tenant = tenant
+
+    def spec(self, workload: str = "pingpong",
+             params: Optional[Mapping[str, Any]] = None,
+             **fields: Any) -> JobSpec:
+        """Build a :class:`JobSpec` for this tenant."""
+        fields.setdefault("tenant", self.tenant)
+        if fields["tenant"] != self.tenant:
+            raise ValueError(
+                f"client of tenant {self.tenant!r} cannot submit for "
+                f"{fields['tenant']!r}"
+            )
+        return JobSpec(workload=workload, params=dict(params or {}), **fields)
+
+    async def submit(self, workload: str = "pingpong",
+                     params: Optional[Mapping[str, Any]] = None,
+                     **fields: Any) -> JobHandle:
+        return await self.service.submit(self.spec(workload, params, **fields))
+
+    async def run(self, workload: str = "pingpong",
+                  params: Optional[Mapping[str, Any]] = None,
+                  timeout: Optional[float] = None,
+                  **fields: Any) -> JobResult:
+        """Submit and wait: the one-liner for interactive use."""
+        handle = await self.submit(workload, params, **fields)
+        return await handle.result(timeout=timeout)
+
+    async def submit_many(self, specs: Iterable[JobSpec]) -> list[JobHandle]:
+        handles = []
+        for spec in specs:
+            if spec.tenant != self.tenant:
+                raise ValueError(
+                    f"client of tenant {self.tenant!r} cannot submit for "
+                    f"{spec.tenant!r}"
+                )
+            handles.append(await self.service.submit(spec))
+        return handles
+
+    @staticmethod
+    async def gather(handles: Iterable[JobHandle],
+                     timeout: Optional[float] = None) -> list[JobResult]:
+        return [await h.result(timeout=timeout) for h in handles]

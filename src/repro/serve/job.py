@@ -1,0 +1,434 @@
+"""Job model of the vSCC service: specs, states, workloads, execution.
+
+A *job* is one simulation run requested by a tenant: a
+:class:`repro.vscc.VSCCSystem` configuration (device count, scheme,
+kernel backend, delay-fusion flag, optional fault plan) plus a named
+*workload* with parameters. Specs are pure data — picklable across the
+worker-pool process boundary and JSON-round-trippable for clients — so
+the worker that executes a job rebuilds the whole system from scratch,
+which is also what makes job outcomes deterministic: the same spec
+always produces the bit-identical simulated fingerprint, no matter which
+worker ran it, in what order, or how many times it was retried.
+
+:func:`execute_job` is the single execution path. It is synchronous and
+process-agnostic: the process pool calls it inside a worker, the inline
+pool calls it on a thread, and tests call it directly. Progress and
+metrics snapshots stream out through the ``emit`` callback as the
+payloads of ``schemas/job_result.schema.json`` events.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, field, replace
+from enum import Enum
+from typing import Any, Callable, Mapping, Optional
+
+__all__ = [
+    "JOB_EVENT_SCHEMA",
+    "JobAborted",
+    "JobError",
+    "JobSpec",
+    "JobState",
+    "TERMINAL_STATES",
+    "execute_job",
+    "workload",
+    "workload_names",
+]
+
+#: Schema tag carried by every streamed job event
+#: (``schemas/job_result.schema.json``).
+JOB_EVENT_SCHEMA = "repro.job_event/v1"
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a job. Exactly one terminal state per job."""
+
+    #: Accepted and queued (also the state a retried job returns to).
+    PENDING = "pending"
+    #: An attempt is executing on a worker.
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+class JobAborted(Exception):
+    """The attempt was cooperatively aborted (cancellation / timeout)."""
+
+
+class JobError(Exception):
+    """A job attempt failed inside the simulation.
+
+    Carries enough structure to propagate cleanly across the worker
+    boundary: the original exception's type name (``DeviceQuarantined``,
+    ``DeadlockError``, …), its message, and any devices the run had
+    already degraded before failing.
+    """
+
+    def __init__(
+        self,
+        error_type: str,
+        message: str,
+        degraded_devices: tuple[int, ...] = (),
+    ):
+        self.error_type = error_type
+        self.message = message
+        self.degraded_devices = tuple(degraded_devices)
+        super().__init__(f"{error_type}: {message}")
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"type": self.error_type, "message": self.message}
+        if self.degraded_devices:
+            out["degraded_devices"] = list(self.degraded_devices)
+        return out
+
+
+# -- workload registry ---------------------------------------------------------
+
+#: Named workload functions ``fn(system, params) -> RunResult``.
+_WORKLOADS: dict[str, Callable] = {}
+
+
+def workload(name: str) -> Callable:
+    """Register a workload under ``name`` (decorator).
+
+    A workload receives the fully built system and the spec's ``params``
+    mapping, runs one or more programs on it, and returns the final
+    :class:`repro.results.RunResult`. Registration is process-global;
+    forked workers inherit everything registered before the pool
+    started.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        _WORKLOADS[name] = fn
+        return fn
+
+    return deco
+
+
+def workload_names() -> list[str]:
+    return sorted(_WORKLOADS)
+
+
+@workload("spin")
+def _wl_spin(system, params):
+    """Pure-delay burner on rank 0: ``steps`` yields of ``step_ns`` each.
+
+    The cheapest possible job — no communication, scheduler-shaped load
+    for throughput benches and chaos tests (long enough wall time to be
+    killed mid-run when ``steps`` is large).
+    """
+    steps = int(params.get("steps", 64))
+    step_ns = float(params.get("step_ns", 1000.0))
+
+    def program(comm):
+        for _ in range(steps):
+            yield step_ns
+        return steps
+
+    return system.run(program, ranks=[0])
+
+
+@workload("pingpong")
+def _wl_pingpong(system, params):
+    """Two ranks bounce ``sizes`` payloads ``iterations`` times each."""
+    sizes = tuple(int(s) for s in params.get("sizes", (256, 4096)))
+    iterations = int(params.get("iterations", 1))
+    rank_a, rank_b = (int(r) for r in params.get("ranks", (0, 1)))
+    if rank_a == rank_b:
+        raise ValueError("pingpong needs two distinct ranks")
+    low, high = sorted((rank_a, rank_b))
+    verify = bool(params.get("verify", True))
+
+    def program(comm):
+        import numpy as np
+
+        initiator = comm.rank == low
+        peer = high if initiator else low
+        moved = 0
+        for size in sizes:
+            payload = (np.arange(size, dtype=np.int64) % 251).astype(np.uint8)
+            for _ in range(iterations):
+                if initiator:
+                    yield from comm.send(payload, peer)
+                    data = yield from comm.recv(size, peer)
+                else:
+                    data = yield from comm.recv(size, peer)
+                    yield from comm.send(data, peer)
+                if verify and size and not (data == payload).all():
+                    raise AssertionError(f"payload corrupted at size {size}")
+                moved += 2 * size
+        return moved
+
+    return system.run(program, ranks=[low, high])
+
+
+@workload("allreduce")
+def _wl_allreduce(system, params):
+    """Small allreduce + barrier over the first ``nranks`` ranks."""
+    import numpy as np
+
+    nranks = int(params.get("nranks", min(4, system.num_ranks)))
+    length = int(params.get("length", 16))
+    hierarchical = bool(params.get("hierarchical", False))
+
+    def program(comm):
+        yield from comm.barrier(group_size=nranks, hierarchical=hierarchical)
+        out = yield from comm.allreduce(
+            np.arange(float(length)),
+            np.add,
+            group_size=nranks,
+            hierarchical=hierarchical,
+        )
+        return float(np.asarray(out).sum())
+
+    return system.run(program, ranks=range(nranks))
+
+
+@workload("bt")
+def _wl_bt(system, params):
+    """NPB BT (model mode) — the heavyweight of the mixed-tenant bench."""
+    from repro.apps.npb import BTBenchmark
+
+    nranks = int(params.get("nranks", 16))
+    bench = BTBenchmark(
+        clazz=str(params.get("clazz", "S")),
+        nranks=nranks,
+        niter=int(params.get("niter", 1)),
+        mode="model",
+    )
+    return system.run(bench.program, ranks=range(nranks))
+
+
+@workload("deadlock")
+def _wl_deadlock(system, params):
+    """Two ranks each waiting on the other — the error-propagation probe.
+
+    Deterministically raises :class:`repro.sim.errors.DeadlockError`;
+    the test harness uses it to assert failed jobs surface clean errors
+    instead of hanging the service.
+    """
+
+    def program(comm):
+        peer = 1 - comm.rank
+        yield from comm.recv(16, peer)
+
+    return system.run(program, ranks=[0, 1])
+
+
+# -- the job spec --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to reproduce one simulation job from scratch."""
+
+    #: Registered workload name (see :func:`workload_names`).
+    workload: str = "pingpong"
+    #: Workload parameters (JSON-able scalars/tuples only).
+    params: Mapping[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    #: Higher runs first *within the tenant*; tenants compete by
+    #: fair-share, never by priority (one tenant cannot starve another).
+    priority: int = 0
+    num_devices: int = 1
+    #: ``CommScheme`` member name or value (``"LOCAL_PUT_LOCAL_GET_VDMA"``
+    #: / ``"vdma"``); ``None`` keeps the system default.
+    scheme: Optional[str] = None
+    #: Kernel backend spec (``"serial"``, ``"sharded:2"``, …); ``None``
+    #: defers to ``REPRO_KERNEL`` exactly like a direct ``run()``.
+    kernel: Optional[str] = None
+    #: Delay-fusion override; ``None`` defers to ``REPRO_FUSE``.
+    fuse: Optional[bool] = None
+    seed: Optional[int] = None
+    #: Optional chaos plan installed into the job's own system.
+    fault_plan: Optional[object] = None
+    #: Wall-clock budget of one attempt (seconds); ``None`` = unlimited.
+    timeout_s: Optional[float] = None
+    #: Attempts the service may spend on infrastructure failures (worker
+    #: death, timeout). Simulation errors never retry — they are
+    #: deterministic and would fail identically again.
+    max_attempts: int = 2
+    #: Kernel-event chunk size between streamed progress events (and
+    #: cooperative abort checks); ``None`` runs each ``run()`` call in
+    #: one uninterruptible stretch. Chunking never perturbs the
+    #: simulation — no extra events, no extra simulated time — so
+    #: fingerprints stay bit-identical to an unchunked run.
+    progress_every_events: Optional[int] = 25_000
+
+    def validate(self) -> None:
+        if self.workload not in _WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; "
+                f"registered: {', '.join(workload_names())}"
+            )
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+        if self.num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {self.num_devices}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.progress_every_events is not None and self.progress_every_events < 1:
+            raise ValueError(
+                f"progress_every_events must be >= 1, got "
+                f"{self.progress_every_events}"
+            )
+        self.resolved_scheme()  # raises on unknown scheme names
+
+    def resolved_scheme(self):
+        """The spec's :class:`~repro.vscc.schemes.CommScheme`, or None."""
+        if self.scheme is None:
+            return None
+        from repro.vscc.schemes import CommScheme
+
+        try:
+            return CommScheme(self.scheme)
+        except ValueError:
+            try:
+                return CommScheme[self.scheme]
+            except KeyError:
+                raise ValueError(f"unknown scheme {self.scheme!r}") from None
+
+    def to_dict(self) -> dict:
+        """JSON-able mapping; the fault plan nests as plain dataclass data."""
+        out = asdict(replace(self, fault_plan=None))
+        out["params"] = dict(self.params)
+        if self.fault_plan is not None:
+            plan = asdict(self.fault_plan)
+            plan["links"] = {k: asdict(v) if not isinstance(v, dict) else v
+                             for k, v in dict(self.fault_plan.links).items()}
+            plan["devices"] = {k: asdict(v) if not isinstance(v, dict) else v
+                               for k, v in dict(self.fault_plan.devices).items()}
+            out["fault_plan"] = plan
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "JobSpec":
+        doc = dict(doc)
+        plan = doc.pop("fault_plan", None)
+        if plan is not None:
+            from repro.faults import DeviceFaults, FaultPlan, LinkFaults
+
+            plan = dict(plan)
+            defaults = plan.pop("link_defaults", None)
+            plan["link_defaults"] = (
+                LinkFaults(**defaults) if defaults is not None else LinkFaults()
+            )
+            plan["links"] = {
+                k: LinkFaults(**v) for k, v in plan.pop("links", {}).items()
+            }
+            plan["devices"] = {
+                int(k): DeviceFaults(**v) for k, v in plan.pop("devices", {}).items()
+            }
+            plan = FaultPlan(**plan)
+        return cls(fault_plan=plan, **doc)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def execute_job(
+    spec: JobSpec,
+    emit: Optional[Callable[[dict], None]] = None,
+    abort: Optional[threading.Event] = None,
+) -> dict:
+    """Run one attempt of ``spec`` to completion, synchronously.
+
+    Streams ``progress`` events (every ``spec.progress_every_events``
+    kernel events) and one final ``metrics`` snapshot through ``emit``,
+    then returns the terminal payload (fingerprint + metrics) the
+    service wraps into a :class:`repro.results.JobResult`.
+
+    Progress works by *chunking* the simulator's drain loop with the
+    kernel's per-call ``max_events`` budget — never by injecting timer
+    events, which would advance the simulated clock past the workload's
+    natural end and break fingerprint parity with a direct ``run()``.
+    Between chunks the attempt also checks ``abort``, the cooperative
+    kill-switch of the inline pool, and unwinds with
+    :class:`JobAborted`. (The process pool needs no cooperation — a
+    killed worker just disappears.)
+
+    Raises :class:`JobError` on any simulation failure, with the
+    original error type (``DeviceQuarantined``, ``DeadlockError``, …)
+    and the degraded-device set preserved.
+    """
+    from repro.sim.errors import ProcessFailed
+    from repro.vscc.system import VSCCSystem
+
+    spec.validate()
+    if emit is None:
+        emit = lambda event: None  # noqa: E731 - null sink
+
+    system = VSCCSystem(
+        num_devices=spec.num_devices,
+        scheme=spec.resolved_scheme(),
+        seed=spec.seed,
+        fault_plan=spec.fault_plan,
+        kernel=spec.kernel,
+        fuse_delays=spec.fuse,
+    )
+    sim = system.sim
+
+    if spec.progress_every_events is not None:
+        chunk = int(spec.progress_every_events)
+        inner_run = sim.run
+
+        def chunked_run(until=None, max_events=None, detect_deadlock=True):
+            remaining = max_events
+            while True:
+                if abort is not None and abort.is_set():
+                    raise JobAborted(f"attempt aborted at {sim.now} sim ns")
+                budget = chunk if remaining is None else min(chunk, remaining)
+                before = sim.events_processed
+                now = inner_run(
+                    until=until, max_events=budget,
+                    detect_deadlock=detect_deadlock,
+                )
+                stepped = sim.events_processed - before
+                if remaining is not None:
+                    remaining -= stepped
+                    if remaining <= 0:
+                        return now
+                if stepped < budget:
+                    return now  # drained (or past ``until``) inside the chunk
+                emit(
+                    {
+                        "type": "progress",
+                        "sim_now_ns": sim.now,
+                        "events": float(sim.events_processed),
+                    }
+                )
+
+        sim.run = chunked_run
+
+    try:
+        run = _WORKLOADS[spec.workload](system, dict(spec.params))
+    except Exception as exc:  # noqa: BLE001 - re-raised with structure below
+        cause = exc.__cause__ if isinstance(exc, ProcessFailed) else exc
+        if isinstance(cause, JobAborted):
+            raise cause from None
+        if isinstance(cause, JobError):
+            raise cause from exc
+        degraded: tuple[int, ...] = ()
+        if system.fault_injector is not None:
+            degraded = system.fault_injector.degraded_devices
+        raise JobError(type(cause).__name__, str(cause), degraded) from exc
+
+    metrics = {str(k): float(v) for k, v in system.metrics.items()}
+    emit({"type": "metrics", "metrics": metrics})
+    return {
+        "sim_now_ns": sim.now,
+        "events": float(sim.events_processed),
+        "elapsed_ns": run.elapsed_ns,
+        "core_cycles": run.core_cycles,
+        "degraded_devices": list(run.degraded_devices),
+        "metrics": metrics,
+    }

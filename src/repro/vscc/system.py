@@ -80,6 +80,7 @@ class VSCCSystem:
         fault_plan: Optional["FaultPlan"] = None,
         policy: Optional[SchemePolicy] = None,
         kernel: Union[Kernel, str, None] = None,
+        fuse_delays: Optional[bool] = None,
     ):
         if num_devices < 1:
             raise ValueError("need at least one device")
@@ -103,7 +104,11 @@ class VSCCSystem:
         #: Event-queue backend (``repro.sim.kernel``); the bare
         #: ``"sharded"`` spec gets one lane per device plus a host lane.
         self.kernel = kernel_from_spec(kernel, default_shards=num_devices + 1)
-        self.sim = Simulator(kernel=self.kernel)
+        # ``fuse_delays`` pins the delay-fusion fast path per system (the
+        # service layer runs many systems with per-job specs in one
+        # process, where mutating ``REPRO_FUSE`` would race); ``None``
+        # defers to the environment exactly like a direct Simulator().
+        self.sim = Simulator(kernel=self.kernel, fuse_delays=fuse_delays)
         self.tracer = Tracer()
         self.devices = [
             SCCDevice(self.sim, self.params, device_id=i, tracer=self.tracer)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.rcce.session import RcceSession
@@ -9,6 +11,33 @@ from repro.scc.chip import SCCDevice
 from repro.sim.engine import Simulator
 from repro.vscc.schemes import CommScheme
 from repro.vscc.system import VSCCSystem
+
+
+@pytest.fixture(autouse=True)
+def repro_env_leak_check():
+    """Fail any test that leaks a ``REPRO_*`` env var.
+
+    The kernel backend (``REPRO_KERNEL``) and delay fusion
+    (``REPRO_FUSE``) are read lazily per-simulator, so a leaked setting
+    silently changes every later test's backend. Tests must mutate these
+    only through ``monkeypatch.setenv`` (which restores before this
+    teardown runs); anything still different here is a leak. The
+    offending vars are restored *before* failing so one bad test cannot
+    cascade through the rest of the session.
+    """
+    before = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+    yield
+    after = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+    if after != before:
+        for key in after.keys() - before.keys():
+            del os.environ[key]
+        os.environ.update(before)
+        pytest.fail(
+            f"test leaked REPRO_* environment variables: "
+            f"{before!r} -> {after!r} (now restored); "
+            f"use monkeypatch.setenv instead of os.environ",
+            pytrace=False,
+        )
 
 
 @pytest.fixture

@@ -32,6 +32,8 @@ Usage::
     PYTHONPATH=src python tools/perf_gate.py --advisory       # report only
     PYTHONPATH=src python tools/perf_gate.py --fresh run.json # gate a prior run
     PYTHONPATH=src python tools/perf_gate.py --fusion-only    # paired check only
+    PYTHONPATH=src python tools/perf_gate.py \
+        --scenario serve_mixed_tenants                        # gate a subset
 """
 
 from __future__ import annotations
@@ -253,6 +255,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
     parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="gate only these scenarios: the harness measures just them "
+        "and the baseline is filtered to match, so a subset run (e.g. "
+        "the CI serve smoke) never fails on scenarios it did not "
+        "measure (repeatable)",
+    )
+    parser.add_argument(
         "--advisory",
         action="store_true",
         help="report failures but always exit 0 (CI smoke mode)",
@@ -289,7 +300,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.fresh is not None:
             fresh = json.loads(args.fresh.read_text())
         else:
-            fresh = measure(args.repeat)
+            fresh = measure(args.repeat, args.scenario)
+        if args.scenario:
+            selected = set(args.scenario)
+            missing = selected - set(baseline.get("scenarios", {}))
+            for name in sorted(missing):
+                print(f"perf_gate: note — {name!r} has no baseline entry yet")
+            for doc in (baseline, fresh):
+                doc["scenarios"] = {
+                    name: entry
+                    for name, entry in doc.get("scenarios", {}).items()
+                    if name in selected
+                }
         fingerprint_failures, wall_failures = gate(baseline, fresh)
         if args.check_fusion:
             fingerprint_failures += check_fusion(max(1, min(args.repeat, 2)))

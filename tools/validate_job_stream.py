@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Validate streamed serve job events against the checked-in schema.
+
+Input files are JSON Lines (one ``repro.job_event/v1`` envelope per
+line, the natural dump of ``SimService.event_log``) or a single JSON
+array of envelopes. Validation reuses the stdlib-only engine in
+``tools/validate_metrics.py``; on top of per-event schema conformance
+this also checks the two stream-level invariants submitters rely on:
+
+* ``seq`` strictly increases across the stream;
+* per job, at most one terminal ``result`` event, and nothing after it.
+
+Usage:  python tools/validate_job_stream.py FILE [FILE ...]
+Exit status is non-zero if any file fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from validate_metrics import validate
+
+SCHEMA_PATH = (
+    Path(__file__).resolve().parent.parent / "schemas" / "job_result.schema.json"
+)
+
+
+def load_events(text: str) -> list[dict]:
+    """Parse a JSON array or JSON-lines dump into a list of events."""
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        events = json.loads(text)
+    else:
+        events = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if not isinstance(events, list):
+        raise ValueError("expected a JSON array or JSON lines of events")
+    return events
+
+
+def validate_stream(events: list[dict], schema=None) -> list[str]:
+    """All violations in an event stream (empty list: valid)."""
+    if schema is None:
+        schema = json.loads(SCHEMA_PATH.read_text())
+    errors: list[str] = []
+    last_seq = 0.0
+    finished: set[str] = set()
+    for i, event in enumerate(events):
+        for err in validate(event, schema):
+            errors.append(f"event[{i}]{err[1:]}")  # strip the leading '$'
+        if not isinstance(event, dict):
+            continue
+        seq = event.get("seq")
+        if isinstance(seq, (int, float)) and not isinstance(seq, bool):
+            if seq <= last_seq:
+                errors.append(
+                    f"event[{i}]: seq {seq} not greater than previous {last_seq}"
+                )
+            last_seq = max(last_seq, seq)
+        job_id = event.get("job_id")
+        if job_id in finished:
+            errors.append(f"event[{i}]: job {job_id!r} already reached its result")
+        if event.get("type") == "result" and isinstance(job_id, str):
+            finished.add(job_id)
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    schema = json.loads(SCHEMA_PATH.read_text())
+    status = 0
+    for arg in argv:
+        try:
+            events = load_events(Path(arg).read_text())
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"{arg}: unreadable ({exc})")
+            status = 1
+            continue
+        errors = validate_stream(events, schema)
+        if errors:
+            status = 1
+            print(f"{arg}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            jobs = {e.get("job_id") for e in events}
+            print(f"{arg}: OK ({len(events)} events, {len(jobs)} jobs)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Validate run-metrics JSON files against the checked-in schema.
 
-Stdlib-only: implements exactly the JSON-Schema subset
-``schemas/run_metrics.schema.json`` uses (type, const, required,
-properties, additionalProperties, propertyNames.pattern, minLength) so
-CI needs no third-party validator.
+Stdlib-only: implements exactly the JSON-Schema subset the checked-in
+schemas use (type, const, enum, required, properties,
+additionalProperties, propertyNames.pattern, minLength, items) so CI
+needs no third-party validator. ``validate(doc, schema)`` is also the
+reusable engine behind ``tools/validate_job_stream.py`` and the
+schema-conformance tests.
 
 Usage:  python tools/validate_metrics.py FILE [FILE ...]
 Exit status is non-zero if any file fails validation.
@@ -32,6 +34,9 @@ def _check(value, schema, path: str, errors: list[str]) -> None:
     if "const" in schema and value != schema["const"]:
         errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
         return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+        return
     expected = schema.get("type")
     if expected is not None:
         pytype = _TYPES[expected]
@@ -44,6 +49,12 @@ def _check(value, schema, path: str, errors: list[str]) -> None:
             return
     if expected == "string" and len(value) < schema.get("minLength", 0):
         errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+    if expected == "array":
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                _check(item, items, f"{path}[{i}]", errors)
+        return
     if expected != "object":
         return
 
