@@ -12,19 +12,26 @@ scatters O(log n) of its edges across PCIe wherever virtual-rank
 neighbors land on different devices, while the hierarchical tree pays
 exactly the leader-to-leader edges — O(num_devices) crossings, however
 the group is laid out.
+
+The three-level ablation extends the same argument one tier up: on a
+multi-host fabric the two-level tree scatters its *leader* edges across
+the inter-host links, while the three-level tree funnels them through
+one host leader per host — O(num_hosts) crossings of the slowest tier.
 """
 
 from repro.bench import format_table
 from repro.vscc.schemes import CommScheme
 from repro.vscc.system import VSCCSystem
+from repro.vscc.topology import VsccTopology
 
 from conftest import record
 
 import numpy as np
 
 
-def _collective_cost(num_devices: int, nranks: int):
+def _collective_cost(num_devices: int):
     system = VSCCSystem(num_devices=num_devices, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
+    nranks = system.num_ranks
     times = {}
 
     def program(comm):
@@ -41,16 +48,18 @@ def _collective_cost(num_devices: int, nranks: int):
             times["allreduce"] = t2 - t1
 
     system.run(program, ranks=range(nranks))
+    times["ranks"] = nranks
     return times
 
 
-def _ablation_cost(num_devices: int, members):
+def _ablation_cost(num_devices: int, stride: int = 1):
     """barrier/allreduce time and PCIe crossing count, flat vs two-level.
 
     Crossings are counted as *directed cross-device (src, dst) pairs*
     that carried traffic during the phase — the number of distinct PCIe
     routes the collective exercised, the quantity the two-level design
-    argues about.
+    argues about. ``stride`` permutes the ``members=`` order (must be
+    coprime with the rank count); the default is the identity order.
     """
     results = {}
     for impl, hier in (("flat", False), ("hier", True)):
@@ -60,6 +69,8 @@ def _ablation_cost(num_devices: int, members):
         system = VSCCSystem(
             num_devices=num_devices, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
         )
+        n = system.num_ranks
+        members = [(i * stride) % n for i in range(n)]
         topo = system.topology
         times = {}
 
@@ -85,11 +96,68 @@ def _ablation_cost(num_devices: int, members):
     return results
 
 
+def _fabric_ablation_cost(num_hosts: int, num_devices: int = 4):
+    """barrier/allreduce cost and per-tier crossing counts on a fabric.
+
+    Three implementations on the *same physical* ``num_hosts``-host
+    system: ``flat`` (no hierarchy), ``two`` (device leaders only — the
+    collective plan is fed a host-map-less topology, so it cannot see
+    the host tier) and ``three`` (the full per-device → per-host leader
+    recursion). Crossings are directed traffic pairs per tier; the
+    inter-host byte volume comes from the cluster's link counters.
+    """
+    results = {}
+    for impl in ("flat", "two", "three"):
+        system = VSCCSystem(
+            num_devices=num_devices,
+            num_hosts=num_hosts,
+            scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        )
+        fabric = system.topology  # host-aware; used for tier accounting
+        if impl == "two":
+            # Collapse the host tier in the collective *plan* only:
+            # traffic still rides the real inter-host links.
+            system.topology = VsccTopology(system.layout, system.params)
+        hier = impl != "flat"
+        nranks = system.num_ranks
+        times = {}
+
+        def program(comm):
+            yield from comm.barrier(group_size=nranks, hierarchical=hier)
+            t0 = comm.env.sim.now
+            yield from comm.barrier(group_size=nranks, hierarchical=hier)
+            t1 = comm.env.sim.now
+            yield from comm.allreduce(
+                np.arange(64.0), np.add, group_size=nranks, hierarchical=hier
+            )
+            t2 = comm.env.sim.now
+            if comm.rank == 0:
+                times["barrier"] = t1 - t0
+                times["allreduce"] = t2 - t1
+
+        system.run(program)
+        times["ranks"] = nranks
+        times["pcie_pairs"] = sum(
+            1 for (src, dst) in system.layout.traffic
+            if fabric.is_cross_device(src, dst)
+        )
+        times["interhost_pairs"] = sum(
+            1 for (src, dst) in system.layout.traffic
+            if fabric.is_cross_host(src, dst)
+        )
+        times["interhost_bytes"] = sum(
+            v for k, v in system.metrics.items()
+            if k.startswith("interhost.bytes")
+        )
+        results[impl] = times
+    return results
+
+
 def test_collectives_across_devices(benchmark, once):
-    configs = [(1, 48), (2, 96), (5, 240)]
+    devices = (1, 2, 5)
 
     def run():
-        return {nd: _collective_cost(nd, nr) for nd, nr in configs}
+        return {nd: _collective_cost(nd) for nd in devices}
 
     results = once(run)
     print()
@@ -97,8 +165,9 @@ def test_collectives_across_devices(benchmark, once):
         format_table(
             ["devices", "ranks", "barrier us", "allreduce us"],
             [
-                (nd, nr, results[nd]["barrier"] / 1000, results[nd]["allreduce"] / 1000)
-                for nd, nr in configs
+                (nd, results[nd]["ranks"],
+                 results[nd]["barrier"] / 1000, results[nd]["allreduce"] / 1000)
+                for nd in devices
             ],
         )
     )
@@ -115,24 +184,22 @@ def test_collectives_across_devices(benchmark, once):
 
 def test_flat_vs_hierarchical_ablation(benchmark, once):
     """Flat vs two-level collectives, 1–5 devices, full machine."""
-    configs = [(nd, nd * 48) for nd in (1, 2, 3, 4, 5)]
+    devices = (1, 2, 3, 4, 5)
 
     def run():
-        return {
-            nd: _ablation_cost(nd, list(range(nr))) for nd, nr in configs
-        }
+        return {nd: _ablation_cost(nd) for nd in devices}
 
     results = once(run)
     print()
     print(
         format_table(
-            ["devices", "ranks", "impl", "barrier us", "allreduce us", "pcie pairs"],
+            ["devices", "impl", "barrier us", "allreduce us", "pcie pairs"],
             [
-                (nd, nr, impl,
+                (nd, impl,
                  round(results[nd][impl]["barrier"] / 1000, 1),
                  round(results[nd][impl]["allreduce"] / 1000, 1),
                  results[nd][impl]["pairs"])
-                for nd, nr in configs
+                for nd in devices
                 for impl in ("flat", "hier")
             ],
         )
@@ -165,8 +232,7 @@ def test_hierarchical_immune_to_member_permutation(benchmark, once):
     and keeps its O(num_devices) leader edges regardless of order."""
 
     def run():
-        members = [(i * 53) % 240 for i in range(240)]  # stride permutation
-        return _ablation_cost(5, members)
+        return _ablation_cost(5, stride=53)  # stride permutation of all ranks
 
     results = once(run)
     print()
@@ -195,3 +261,65 @@ def test_hierarchical_immune_to_member_permutation(benchmark, once):
     assert results["flat"]["pairs"] > 10 * results["hier"]["pairs"]
     assert results["hier"]["barrier"] < 0.5 * results["flat"]["barrier"]
     assert results["hier"]["allreduce"] < 0.5 * results["flat"]["allreduce"]
+
+
+def test_three_level_fabric_ablation(benchmark, once):
+    """Flat vs two-level vs three-level collectives across host counts.
+
+    The same 4-device (192-rank) machine is carved into 1, 2 and 4
+    hosts; every implementation runs on the identical physical fabric,
+    so the per-tier crossing counts isolate what each collective plan
+    buys. The two-level plan is blind to the host tier — its leader
+    edges scatter across the inter-host links — while the three-level
+    plan funnels them through one host leader per host.
+    """
+    host_counts = (1, 2, 4)
+
+    def run():
+        return {nh: _fabric_ablation_cost(nh) for nh in host_counts}
+
+    results = once(run)
+    print()
+    print(
+        format_table(
+            ["hosts", "impl", "barrier us", "allreduce us",
+             "pcie pairs", "ih pairs", "ih bytes"],
+            [
+                (nh, impl,
+                 round(results[nh][impl]["barrier"] / 1000, 1),
+                 round(results[nh][impl]["allreduce"] / 1000, 1),
+                 results[nh][impl]["pcie_pairs"],
+                 results[nh][impl]["interhost_pairs"],
+                 int(results[nh][impl]["interhost_bytes"]))
+                for nh in host_counts
+                for impl in ("flat", "two", "three")
+            ],
+        )
+    )
+    record(
+        benchmark,
+        allreduce_us={
+            nh: {impl: round(r["allreduce"] / 1000, 1) for impl, r in by.items()}
+            for nh, by in results.items()
+        },
+        interhost_pairs={
+            nh: (by["flat"]["interhost_pairs"], by["two"]["interhost_pairs"],
+                 by["three"]["interhost_pairs"])
+            for nh, by in results.items()
+        },
+    )
+    # One host: no inter-host tier at all, and the two hierarchical
+    # plans are the same plan.
+    for impl in ("flat", "two", "three"):
+        assert results[1][impl]["interhost_pairs"] == 0
+        assert results[1][impl]["interhost_bytes"] == 0
+    assert results[1]["two"]["allreduce"] == results[1]["three"]["allreduce"]
+    # Multi-host: traffic really crosses hosts, the hierarchical plans
+    # exercise no more inter-host routes than the flat tree, and the
+    # three-level plan never exercises more than the host-blind one.
+    for nh in (2, 4):
+        by = results[nh]
+        assert by["three"]["interhost_bytes"] > 0
+        assert by["three"]["interhost_pairs"] <= by["two"]["interhost_pairs"]
+        assert by["two"]["interhost_pairs"] <= by["flat"]["interhost_pairs"]
+        assert by["three"]["pcie_pairs"] <= by["flat"]["pcie_pairs"]

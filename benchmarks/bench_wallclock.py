@@ -184,7 +184,10 @@ def coll_hier_allreduce() -> dict:
 
     import numpy as np
 
-    nranks = 240
+    system = VSCCSystem(
+        num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
+    )
+    nranks = system.num_ranks
     phases = {}
 
     def program(comm):
@@ -201,15 +204,63 @@ def coll_hier_allreduce() -> dict:
                 phases[f"{impl}_barrier_ns"] = t1 - t0
                 phases[f"{impl}_allreduce_ns"] = t2 - t1
 
-    system = VSCCSystem(
-        num_devices=5, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA
-    )
     system.run(program, ranks=range(nranks))
     assert phases["hier_barrier_ns"] < phases["flat_barrier_ns"]
     assert phases["hier_allreduce_ns"] < phases["flat_allreduce_ns"]
     return {
         "sim_now_ns": system.sim.now,
         "events": system.sim.events_processed,
+        **phases,
+    }
+
+
+def fabric_multihost() -> dict:
+    """Three-level collectives on a 2-host × 4-device (192-rank) fabric.
+
+    The multi-host scaling scenario: a hierarchical barrier + allreduce
+    over every rank of a clustered system, where per-device leaders
+    funnel through per-host leaders and only the host leaders' messages
+    cross the inter-host tier. The fingerprint pins the simulated clock,
+    the event count and the total inter-host byte volume, so a change to
+    the fabric routing, the host-affinity policy or the third collective
+    level fails the gate loudly.
+    """
+    from repro.rcce.api import RcceOptions
+    from repro.vscc.schemes import CommScheme
+    from repro.vscc.system import VSCCSystem
+
+    import numpy as np
+
+    system = VSCCSystem(
+        num_hosts=2,
+        devices_per_host=2,
+        scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA,
+        options=RcceOptions(hierarchical_collectives=True),
+    )
+    nranks = system.num_ranks
+    phases = {}
+
+    def program(comm):
+        yield from comm.barrier(group_size=nranks)
+        t0 = comm.env.sim.now
+        yield from comm.barrier(group_size=nranks)
+        t1 = comm.env.sim.now
+        yield from comm.allreduce(np.arange(64.0), np.add, group_size=nranks)
+        t2 = comm.env.sim.now
+        if comm.rank == 0:
+            phases["barrier_ns"] = t1 - t0
+            phases["allreduce_ns"] = t2 - t1
+
+    system.run(program)
+    metrics = system.metrics
+    interhost_bytes = sum(
+        v for k, v in metrics.items() if k.startswith("interhost.bytes")
+    )
+    assert interhost_bytes > 0
+    return {
+        "sim_now_ns": system.sim.now,
+        "events": system.sim.events_processed,
+        "interhost_bytes": interhost_bytes,
         **phases,
     }
 
@@ -290,6 +341,7 @@ SCENARIOS = {
     "fig8_traffic": fig8_traffic,
     "policy_threshold_mixed": policy_threshold_mixed,
     "coll_hier_allreduce": coll_hier_allreduce,
+    "fabric_multihost": fabric_multihost,
     "micro_spawn_delay": spawn_delay_churn,
     "micro_yield_float": yield_float_churn,
     "micro_zero_delay": zero_delay_churn,

@@ -28,8 +28,10 @@ def main() -> None:
         failure_prob=0.03,
         seed=2015,
     )
-    lost = 240 - system.num_ranks
-    print(f"booted 5 devices: {system.num_ranks}/240 cores came up "
+    total = len(system.devices) * system.params.num_cores
+    lost = total - system.num_ranks
+    print(f"booted {len(system.devices)} devices: "
+          f"{system.num_ranks}/{total} cores came up "
           f"({lost} silent failures)")
     print("\nregenerated configuration file (RCCE startup-script workaround):")
     print(system.config.to_text())

@@ -29,8 +29,8 @@ def main() -> None:
 
     system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
     print(f"booted {system.num_ranks} ranks on {len(system.devices)} devices")
-    print(f"rank 0 lives at (x, y, z) = {system.topology.xyz(0)}")
-    print(f"rank 48 lives at (x, y, z) = {system.topology.xyz(48)}")
+    print(f"rank 0 lives at (x, y, device, host) = {system.topology.coords(0)}")
+    print(f"rank 48 lives at (x, y, device, host) = {system.topology.coords(48)}")
 
     def program(comm):
         if comm.rank == 0:

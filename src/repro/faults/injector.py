@@ -310,24 +310,40 @@ class FaultInjector:
         self.states: dict[str, LinkFaultState] = {}
         #: device id -> "reset" | "severed"
         self.quarantined: dict[int, str] = {}
-        for device_id, cable in host.cables.items():
-            device_spec = plan.devices.get(device_id)
-            if device_spec is not None and device_spec.is_null:
-                device_spec = None
-            for link in (cable.up, cable.down):
-                spec = plan.for_link(link.name)
-                if spec.is_null and device_spec is None:
+        # On a clustered fabric one injector covers every member host's
+        # cables plus the inter-host links (which carry the same envelope
+        # and retransmit machinery; their fault states use device id -1,
+        # so exhaustion never quarantines a device).
+        hosts = host.cluster.hosts if host.cluster is not None else [host]
+        for member in hosts:
+            for device_id, cable in member.cables.items():
+                device_spec = plan.devices.get(device_id)
+                if device_spec is not None and device_spec.is_null:
+                    device_spec = None
+                for link in (cable.up, cable.down):
+                    spec = plan.for_link(link.name)
+                    if spec.is_null and device_spec is None:
+                        continue
+                    state = LinkFaultState(
+                        link, spec, plan,
+                        device_id=device_id,
+                        injector=self,
+                        device_spec=device_spec,
+                        tracer=tracer,
+                    )
+                    link.faults = state
+                    self.states[link.name] = state
+            member.fault_injector = self
+        if host.cluster is not None:
+            for ih in host.cluster.links.values():
+                spec = plan.for_link(ih.link.name)
+                if spec.is_null:
                     continue
                 state = LinkFaultState(
-                    link, spec, plan,
-                    device_id=device_id,
-                    injector=self,
-                    device_spec=device_spec,
-                    tracer=tracer,
+                    ih.link, spec, plan, device_id=-1, tracer=tracer,
                 )
-                link.faults = state
-                self.states[link.name] = state
-        host.fault_injector = self
+                ih.link.faults = state
+                self.states[ih.link.name] = state
 
     # -- quarantine ----------------------------------------------------------
 
@@ -336,7 +352,7 @@ class FaultInjector:
         if device_id in self.quarantined:
             return
         self.quarantined[device_id] = "severed" if severed else "reset"
-        cable = self.host.cables[device_id]
+        cable = self.host.cable_of(device_id)
         for link in (cable.up, cable.down):
             state = self.states.get(link.name)
             if state is None:

@@ -289,7 +289,12 @@ class CommunicationTask:
             raise DeviceQuarantined(self.device_id, target_device)
 
     def _line_rtt_ns(self, target_device: int, read: bool) -> float:
-        """End-to-end round trip for one transparently routed line."""
+        """End-to-end round trip for one transparently routed line.
+
+        A cross-host target adds the inter-host tier in both directions
+        (request out, line packet back) plus the destination host's
+        forwarding service on each traversal.
+        """
         cached = self._rtt_cache.get((target_device, read))
         if cached is not None:
             return cached
@@ -306,6 +311,14 @@ class CommunicationTask:
             + (REQUEST_BYTES + LINE_PACKET_BYTES) / p_dst.bandwidth_bpns
         )
         service = 2 * host.params.service_ns + p_dst.fpga_service_ns
+        if not host.is_local(target_device):
+            p_ih = host.cluster.params
+            wire += (
+                2 * p_ih.latency_ns
+                + 2 * p_ih.packet_overhead_ns
+                + 2 * (REQUEST_BYTES + LINE_PACKET_BYTES) / p_ih.bandwidth_bpns
+            )
+            service += 2 * host.params.service_ns
         rtt = wire + service
         self._rtt_cache[(target_device, read)] = rtt
         return rtt
@@ -318,6 +331,12 @@ class CommunicationTask:
         src_cable.down.bytes_carried += nbytes
         dst_cable.up.bytes_carried += nbytes
         dst_cable.down.bytes_carried += nbytes
+        host = self.host
+        if not host.is_local(target_device):
+            dst_host = host.host_for(target_device)
+            cluster = host.cluster
+            cluster.link(host.host_id, dst_host.host_id).link.bytes_carried += nbytes
+            cluster.link(dst_host.host_id, host.host_id).link.bytes_carried += nbytes
 
     # -- transparent routing (previous-prototype baseline) -------------------------
 
@@ -436,11 +455,11 @@ class CommunicationTask:
                         on_arrival=(lambda c=chunk, o=off: combiner.absorb(o, c)),
                     )
                 else:
-                    dst_cable = host.cable_of(addr.device)
                     dst_dev = host.device_of(addr.device)
 
                     def forward(c=chunk, o=offset) -> None:
-                        dst_cable.down.post(
+                        host.route_down(
+                            addr.device,
                             len(c) + REQUEST_BYTES,
                             on_arrival=lambda: dst_dev.mpb.write(addr + o, c),
                             extra_overhead_ns=host.params.service_ns,
@@ -476,11 +495,11 @@ class CommunicationTask:
                 env.device.sif.mesh_to_sif_ns(env.core_id, length),
                 lines * cable.params.fpga_ack_ns,
             )
-            dst_cable = host.cable_of(addr.device)
             dst_dev = host.device_of(addr.device)
 
             def forward() -> None:
-                dst_cable.down.post(
+                host.route_down(
+                    addr.device,
                     length + REQUEST_BYTES,
                     on_arrival=lambda: dst_dev.mpb.write(addr, payload),
                     extra_overhead_ns=host.params.service_ns,
@@ -502,7 +521,10 @@ class CommunicationTask:
         # Every announce starts a fresh stream object so bytes of the
         # previous chunk that are still in flight keep their identity.
         combiner = HostWriteCombiner(
-            self.sim, self.host.dma_of(target.device), self.host.params.granule
+            self.sim,
+            self.host.push_engine_for(target.device),
+            self.host.params.granule,
+            shard=self.host.daemon_shard(),
         )
         old = self._combiners.get(env.core_id)
         if old is not None:
@@ -569,11 +591,11 @@ class CommunicationTask:
                 env.device.sif.mesh_to_sif_ns(env.core_id, REQUEST_BYTES),
                 cable.params.fpga_ack_ns,
             )
-            dst_cable = host.cable_of(addr.device)
             dst_dev = host.device_of(addr.device)
 
             def forward() -> None:
-                dst_cable.down.post(
+                host.route_down(
+                    addr.device,
                     REQUEST_BYTES,
                     on_arrival=lambda: dst_dev.mpb.write_byte(addr, value),
                     extra_overhead_ns=host.params.service_ns,

@@ -12,6 +12,15 @@ prototype [13] (False) and the vSCC functionality this paper adds
 (True). The FPGA fast-write-ack option is refused for more than two
 devices unless ``allow_unstable=True`` — the paper reports it as
 known-unstable in that regime and uses it only as an upper bound.
+
+Scaling past one host, several ``Host`` instances join a
+:class:`~repro.host.interhost.HostCluster`; each keeps its own
+communication tasks, cables, DMA/vDMA engines and software cache, and
+the lookup helpers transparently resolve *foreign* devices through the
+cluster. :meth:`Host.route_down` is the one routing primitive the
+protocol layers use for the final host→device hop: local targets take
+the historic direct cable post (bit-identical), cross-host targets ride
+the inter-host link first.
 """
 
 from __future__ import annotations
@@ -71,6 +80,7 @@ class Host:
         extensions_enabled: bool = True,
         fast_write_ack: bool = False,
         allow_unstable: bool = False,
+        host_id: int = 0,
     ):
         if not devices:
             raise ValueError("a host needs at least one device")
@@ -89,6 +99,11 @@ class Host:
                 "allow_unstable=True to model it anyway"
             )
         self.sim = sim
+        self.host_id = host_id
+        #: Set by :class:`repro.host.interhost.HostCluster` when this host
+        #: joins a multi-host fabric; ``None`` on a standalone host (every
+        #: pre-cluster code path checks this and stays untouched).
+        self.cluster = None
         self.params = host_params or HostParams()
         self.pcie_params = pcie_params or PCIeParams()
         self.extensions_enabled = extensions_enabled
@@ -118,18 +133,114 @@ class Host:
             d.sif.cable = self.cables[d.device_id]
 
     # -- lookup ------------------------------------------------------------------
+    #
+    # Local devices resolve through this host's own dicts (the historic
+    # behaviour); foreign devices fall back to the cluster directory, so
+    # the protocol layers can reason about any device in the fabric.
+
+    def is_local(self, device_id: int) -> bool:
+        return device_id in self.devices
+
+    def host_for(self, device_id: int) -> "Host":
+        """The host owning ``device_id`` (self for a local device)."""
+        if device_id in self.devices:
+            return self
+        if self.cluster is None:
+            raise KeyError(f"device {device_id} is not on this host")
+        return self.cluster.host_for(device_id)
 
     def device_of(self, device_id: int) -> SCCDevice:
-        return self.devices[device_id]
+        dev = self.devices.get(device_id)
+        if dev is not None:
+            return dev
+        return self.host_for(device_id).devices[device_id]
 
     def cable_of(self, device_id: int) -> PCIeCable:
-        return self.cables[device_id]
+        cable = self.cables.get(device_id)
+        if cable is not None:
+            return cable
+        return self.host_for(device_id).cables[device_id]
 
     def dma_of(self, device_id: int) -> DMAEngine:
-        return self.dmas[device_id]
+        dma = self.dmas.get(device_id)
+        if dma is not None:
+            return dma
+        return self.host_for(device_id).dmas[device_id]
 
     def task_of(self, device_id: int) -> CommunicationTask:
-        return self.tasks[device_id]
+        task = self.tasks.get(device_id)
+        if task is not None:
+            return task
+        return self.host_for(device_id).tasks[device_id]
+
+    # -- routing -----------------------------------------------------------------
+
+    def route_down(
+        self,
+        dst_device: int,
+        nbytes: int,
+        on_arrival=None,
+        extra_overhead_ns: float = 0.0,
+        owner: str = "src",
+    ):
+        """Post the final host→device hop toward ``dst_device``.
+
+        The one cross-tier routing primitive: a local target takes the
+        direct cable post (exactly the historic path — single-host runs
+        stay bit-identical); a foreign target first rides the directed
+        inter-host link to its owning host, then that host's cable.
+        ``owner`` is the policy layer's host-affinity axis: which host's
+        communication task owns the inter-host forward and pays its
+        ``service_ns`` on the link ("src" = this host, "dst" = the
+        target's host). ``extra_overhead_ns`` is charged on the final
+        cable hop either way. Returns the arrival event of the hop
+        posted *now* (for a cross-host route: the inter-host leg; the
+        cable leg chains off its arrival).
+        """
+        cable = self.cables.get(dst_device)
+        if cable is not None:
+            return cable.down.post(
+                nbytes, on_arrival=on_arrival, extra_overhead_ns=extra_overhead_ns
+            )
+        dst_host = self.host_for(dst_device)
+        link = self.cluster.link(self.host_id, dst_host.host_id)
+        owner_host = dst_host if owner == "dst" else self
+
+        def _hop() -> None:
+            dst_host.cables[dst_device].down.post(
+                nbytes, on_arrival=on_arrival, extra_overhead_ns=extra_overhead_ns
+            )
+
+        return link.link.post(
+            nbytes,
+            on_arrival=_hop,
+            extra_overhead_ns=owner_host.params.service_ns,
+        )
+
+    def daemon_shard(self) -> Optional[int]:
+        """Kernel lane hint for this host's daemon processes.
+
+        On a clustered fabric each host gets its own sharded-kernel host
+        lane, addressed with the negative hint ``-(host_id + 1)``. A
+        standalone host returns ``None`` — daemons inherit the spawner's
+        lane exactly as before, keeping single-host lane metrics (and the
+        sharded backend's window pattern) bit-identical.
+        """
+        return None if self.cluster is None else -(self.host_id + 1)
+
+    def push_engine_for(self, device_id: int):
+        """The push engine reaching ``device_id`` from this host.
+
+        Local devices get the cable's :class:`~repro.host.dma.DMAEngine`;
+        foreign devices an :class:`~repro.host.interhost.InterHostPush`
+        with the same ``push()`` contract.
+        """
+        dma = self.dmas.get(device_id)
+        if dma is not None:
+            return dma
+        from .interhost import InterHostPush
+
+        return InterHostPush(self, device_id)
 
     def require_extensions(self, feature: str) -> None:
         if not self.extensions_enabled:
@@ -141,8 +252,13 @@ class Host:
     # -- registration (RCCE init calls this per rank) -----------------------------------
 
     def register_rank_regions(self, device_id: int, core_id: int) -> None:
-        """Register a core's MPB payload + SF spans with the task (§3.1)."""
-        device = self.devices[device_id]
+        """Register a core's MPB payload + SF spans with the task (§3.1).
+
+        On a multi-host fabric every host registers *all* ranks' regions
+        (the directory is host-local metadata, not simulated traffic), so
+        each communication task can classify foreign addresses too.
+        """
+        device = self.device_of(device_id)
         payload = device.params.mpb_payload_bytes
         self.regions.register(
             Region(device_id, core_id, 0, payload, RegionKind.BUFFER)

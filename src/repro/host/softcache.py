@@ -85,23 +85,57 @@ class HostMpbCache:
         self.hits = 0
         #: Receiver reads that found no usable entry (demand fill).
         self.misses = 0
+        #: Entries dropped because a *peer host's* cache took a new
+        #: announce or invalidation for the same source span (multi-host
+        #: consistency propagation; always 0 on a single host).
+        self.peer_drops = 0
 
     def metrics_snapshot(self) -> dict[str, float]:
-        """Cache effectiveness series (shared across devices, unlabeled)."""
-        return {
+        """Cache effectiveness series (shared across devices, unlabeled).
+
+        ``softcache.peer_drops`` is emitted only on a clustered host so
+        single-host snapshots keep their historic key set.
+        """
+        out = {
             "softcache.hits": float(self.hits),
             "softcache.misses": float(self.misses),
             "softcache.announces": float(self.announces),
             "softcache.demand_fills": float(self.demand_fills),
             "softcache.invalidations": float(self.invalidations),
         }
+        if self.host.cluster is not None:
+            out["softcache.peer_drops"] = float(self.peer_drops)
+        return out
 
     # -- producer side ------------------------------------------------------
 
     def announce(self, src: MpbAddr, nbytes: int) -> CacheEntry:
-        """Sender-announced message: start prefetching it immediately."""
+        """Sender-announced message: start prefetching it immediately.
+
+        On a multi-host fabric the new epoch also drops any copy of the
+        same source span a *peer host's* cache may hold (e.g. from an
+        earlier demand fill on a cross-host receiver) — the drop is
+        host-local directory metadata, not simulated traffic, and it
+        lands strictly before the sender's flag can (the flag still has
+        to cross the wire).
+        """
         self.announces += 1
+        self._drop_peers(src.device, src.core)
         return self._start_fill(src, nbytes)
+
+    def _peer_caches(self) -> tuple["HostMpbCache", ...]:
+        cluster = self.host.cluster
+        if cluster is None:
+            return ()
+        return tuple(h.cache for h in cluster.hosts if h.cache is not self)
+
+    def _drop_peers(self, device: int, core: int) -> None:
+        for cache in self._peer_caches():
+            entry = cache._entries.pop((device, core), None)
+            if entry is not None:
+                entry.invalidated = True
+                entry.progress.pulse()
+                cache.peer_drops += 1
 
     def _start_fill(self, src: MpbAddr, nbytes: int) -> CacheEntry:
         self._epoch += 1
@@ -111,22 +145,49 @@ class HostMpbCache:
             old.progress.pulse()
         entry = CacheEntry(self.sim, src, nbytes, self._epoch)
         self._entries[(src.device, src.core)] = entry
-        dma = self.host.dma_of(src.device)
+        # A foreign source is pulled by *its* host's DMA engine and the
+        # granules forwarded here over the inter-host tier.
+        src_host = self.host.host_for(src.device)
+        dma = src_host.dmas[src.device]
+        via = None
+        if src_host is not self.host:
+            via = self.host.cluster.link(src_host.host_id, self.host.host_id)
         self.sim.spawn(
-            self._ramped_pull(dma, src, nbytes, entry),
+            self._ramped_pull(dma, src, nbytes, entry, via=via),
             name=f"daemon:prefetch.d{src.device}c{src.core}",
+            shard=self.host.daemon_shard(),
         )
         return entry
 
-    def _ramped_pull(self, dma, src: MpbAddr, nbytes: int, entry: CacheEntry):
+    def _ramped_pull(self, dma, src: MpbAddr, nbytes: int, entry: CacheEntry,
+                     via=None):
         """Prefetch with a ramped warm-up: small granules first.
 
         The first descriptors are deliberately short so the receiver's
         push stream starts early ("after a warmup phase answer remote
         memory requests of the receiver in parallel", §3.2); steady
-        state uses the full DMA granule.
+        state uses the full DMA granule. With ``via`` set (an
+        :class:`~repro.host.interhost.InterHostLink` from the source's
+        host to this one) each pulled granule additionally rides the
+        inter-host tier before it lands in the entry, the source host
+        paying its forwarding service on the link.
         """
         full = self.host.params.granule
+        if via is None:
+            def make_sink(base: int):
+                return lambda off, data: entry.sink(base + off, data)
+        else:
+            src_host_params = self.host.host_for(src.device).params
+
+            def make_sink(base: int):
+                def _sink(off: int, data) -> None:
+                    via.link.post(
+                        len(data),
+                        on_arrival=lambda: entry.sink(base + off, data),
+                        extra_overhead_ns=src_host_params.service_ns,
+                    )
+
+                return _sink
         segments: list[tuple[int, int, int]] = []  # (offset, length, granule)
         offset = 0
         for size in (full // 4, full // 2):
@@ -141,12 +202,7 @@ class HostMpbCache:
         # FIFO); only the final arrival is awaited.
         procs = [
             self.sim.spawn(
-                dma.pull(
-                    src + seg_off,
-                    length,
-                    lambda off, data, base=seg_off: entry.sink(base + off, data),
-                    granule=granule,
-                ),
+                dma.pull(src + seg_off, length, make_sink(seg_off), granule=granule),
                 name="daemon:prefetch-seg",
             )
             for seg_off, length, granule in segments
@@ -155,12 +211,17 @@ class HostMpbCache:
             yield proc
 
     def invalidate(self, device: int, core: int) -> None:
-        """Explicit consistency control from the owning core (§3.1)."""
+        """Explicit consistency control from the owning core (§3.1).
+
+        Propagates to peer hosts' caches on a multi-host fabric — the
+        non-coherent host copies form one logical directory.
+        """
         self.invalidations += 1
         entry = self._entries.pop((device, core), None)
         if entry is not None:
             entry.invalidated = True
             entry.progress.pulse()
+        self._drop_peers(device, core)
 
     def entry_for(self, addr: MpbAddr, length: int) -> CacheEntry | None:
         entry = self._entries.get((addr.device, addr.core))
@@ -226,7 +287,9 @@ class HostMpbCache:
                 arrivals.put((ev, offset, size))
                 offset += size
 
-        self.sim.spawn(pusher(), name="daemon:cache-pusher")
+        self.sim.spawn(
+            pusher(), name="daemon:cache-pusher", shard=host.daemon_shard()
+        )
 
         out = np.empty(length, np.uint8)
         drained = 0

@@ -50,6 +50,10 @@ class VdmaCommand:
     progress_flag: Optional[MpbAddr] = None
     progress_values: tuple[int, ...] = ()
     granule: Optional[int] = None
+    #: Host-affinity of a cross-host copy — which host's communication
+    #: task owns the inter-host forward ("src" or "dst"; ``None`` = the
+    #: policy default). Ignored for same-host destinations.
+    owner: Optional[str] = None
 
 
 class VDMAController:
@@ -124,6 +128,7 @@ class VDMAController:
         self.sim.spawn(
             self._copy(src, count, cmd, self.copies_started, chained),
             name=f"daemon:vdma.d{self.device_id}",
+            shard=self.host.daemon_shard(),
         )
 
     def _copy(
@@ -195,13 +200,16 @@ class VDMAController:
             chunk = src_dev.mpb.read(src + offset, size)
 
             def forward(index=index, off=offset, chunk=chunk, size=size) -> None:
-                # At host arrival: forward down the target cable, paying
-                # host service + descriptor setup as serialization.
-                dst_cable.down.post(
+                # At host arrival: forward down the target cable (via the
+                # inter-host tier for a foreign destination), paying host
+                # service + descriptor setup as serialization.
+                host.route_down(
+                    cmd.dst.device,
                     size,
                     on_arrival=lambda: commit(index, off, chunk),
                     extra_overhead_ns=host.params.service_ns
                     + dst_cable.params.dma_setup_ns,
+                    owner=cmd.owner or "src",
                 )
 
             src_cable.up.post(

@@ -1,4 +1,4 @@
-"""Topology-aware two-level collectives: on-chip trees, leader hops off-chip.
+"""Topology-aware hierarchical collectives: on-chip trees, leader hops off-chip.
 
 The paper's locality lesson (§3, Fig 6b) is brutal for flat collectives:
 a PCIe hop costs ~10⁴ core cycles — roughly 120× an on-chip mesh hop —
@@ -18,6 +18,14 @@ the DNP's two interconnect tiers) is a *two-level* collective:
 3. **inter-device phase** — a binomial tree *over the leaders only*, so
    each collective crosses PCIe O(num_devices) times instead of
    O(n log n / num_devices) scattered edges.
+
+On a multi-host fabric the same recursion adds a third level: the device
+leaders of each host elect a **host leader**, the leader phase splits
+into an intra-host tree (PCIe only) plus a host-leader tree, and only
+the host leaders' messages cross the inter-host tier — O(num_hosts)
+crossings of the slowest links instead of O(num_devices). Single-host
+plans skip the extra level entirely and execute the historic two-level
+code path bit for bit.
 
 The leader phase sends through the ordinary per-message transport
 selection, so it composes with the :class:`repro.vscc.policy.SchemePolicy`
@@ -58,16 +66,27 @@ __all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "GroupPlan"]
 
 
 class GroupPlan:
-    """The shared two-level decomposition of one collective group.
+    """The shared decomposition of one collective group (two or three levels).
 
     Every field is a pure function of the (identical) group argument and
     the rank layout, so all participants compute the same plan with no
     communication. ``leaders`` is ordered by first appearance of each
     device in the group — the leader tree's shape is therefore stable
     under ``members=`` permutations of non-leader ranks.
+
+    On a multi-host fabric (``topology.num_hosts() > 1``) the plan adds a
+    third level: the device leaders of each host elect a *host leader*
+    (the host's first device leader; for rooted operations the root
+    leads its own host), and the leader phase decomposes into an
+    intra-host phase over PCIe plus a host-leader phase over the
+    inter-host tier. On a single host ``host_leaders`` is ``None`` and
+    every code path below is exactly the two-level one.
     """
 
-    __slots__ = ("me", "n", "ranks", "groups", "sub", "leaders", "my_leader")
+    __slots__ = (
+        "me", "n", "ranks", "groups", "sub", "leaders", "my_leader",
+        "host_groups", "host_leaders", "host_sub", "my_host_leader",
+    )
 
     def __init__(
         self,
@@ -95,14 +114,173 @@ class GroupPlan:
         #: My device's subgroup (ordered global ranks) and its leader.
         self.sub = self.groups[my_device]
         self.my_leader = self.leaders[list(self.groups).index(my_device)]
+        if topo.num_hosts() > 1:
+            #: host id -> ordered device-leader sublist (leader order).
+            self.host_groups = topo.host_groups(self.leaders)
+            root_host = (
+                None if root_rank is None else topo.host_of_rank(root_rank)
+            )
+            #: One host leader per host: the host's first device leader,
+            #: except the root's host, which the root itself leads (the
+            #: root already leads its device, hence is in the sublist).
+            self.host_leaders = [
+                root_rank if host == root_host else subl[0]
+                for host, subl in self.host_groups.items()
+            ]
+            my_host = topo.host_of_rank(self.ranks[self.me])
+            #: My host's device leaders (ordered) and their host leader.
+            self.host_sub = self.host_groups[my_host]
+            self.my_host_leader = self.host_leaders[
+                list(self.host_groups).index(my_host)
+            ]
+        else:
+            self.host_groups = None
+            self.host_leaders = None
+            self.host_sub = None
+            self.my_host_leader = None
 
     @property
     def is_leader(self) -> bool:
         return self.ranks[self.me] == self.my_leader
 
     @property
+    def is_host_leader(self) -> bool:
+        return (
+            self.host_leaders is not None
+            and self.ranks[self.me] == self.my_host_leader
+        )
+
+    @property
     def num_devices(self) -> int:
         return len(self.groups)
+
+    @property
+    def num_hosts(self) -> int:
+        return 1 if self.host_groups is None else len(self.host_groups)
+
+
+# -- leader-phase helpers --------------------------------------------------
+#
+# Each helper runs the leader phase of one collective. With
+# ``plan.host_leaders is None`` (single host) it executes exactly the
+# historic flat call over ``plan.leaders``; otherwise it decomposes into
+# an intra-host phase (device leaders → host leader, PCIe only) and a
+# host-leader phase (inter-host tier), so bulk payloads cross the
+# inter-host links O(num_hosts) times instead of O(num_devices).
+
+
+def _leader_barrier(comm: "Rcce", plan: GroupPlan) -> Generator:
+    if plan.host_leaders is None:
+        yield from _flat.barrier(comm, members=plan.leaders)
+        return
+    me = plan.ranks[plan.me]
+    if me != plan.my_host_leader:
+        yield from comm.send(_TOKEN, plan.my_host_leader)
+        yield from comm.recv(1, plan.my_host_leader)
+        return
+    for peer in plan.host_sub:
+        if peer != me:
+            yield from comm.recv(1, peer)
+    if len(plan.host_leaders) > 1:
+        yield from _flat.barrier(comm, members=plan.host_leaders)
+    for peer in plan.host_sub:
+        if peer != me:
+            yield from comm.send(_TOKEN, peer)
+
+
+def _leader_bcast(
+    comm: "Rcce", plan: GroupPlan, payload, nbytes: int, root_rank: int
+) -> Generator:
+    if plan.host_leaders is None:
+        return (
+            yield from _flat.bcast(
+                comm,
+                payload,
+                nbytes,
+                root=plan.leaders.index(root_rank),
+                members=plan.leaders,
+            )
+        )
+    me = plan.ranks[plan.me]
+    # The root leads its host, so the host-leader tree is rooted at it.
+    if me in plan.host_leaders and len(plan.host_leaders) > 1:
+        payload = yield from _flat.bcast(
+            comm,
+            payload,
+            nbytes,
+            root=plan.host_leaders.index(root_rank),
+            members=plan.host_leaders,
+        )
+    if len(plan.host_sub) > 1:
+        payload = yield from _flat.bcast(
+            comm,
+            payload,
+            nbytes,
+            root=plan.host_sub.index(plan.my_host_leader),
+            members=plan.host_sub,
+        )
+    return payload
+
+
+def _leader_reduce(
+    comm: "Rcce", plan: GroupPlan, acc, op, root_rank: int
+) -> Generator:
+    if plan.host_leaders is None:
+        return (
+            yield from _flat.reduce(
+                comm,
+                acc,
+                op,
+                root=plan.leaders.index(root_rank),
+                members=plan.leaders,
+            )
+        )
+    me = plan.ranks[plan.me]
+    if len(plan.host_sub) > 1:
+        acc = yield from _flat.reduce(
+            comm,
+            acc,
+            op,
+            root=plan.host_sub.index(plan.my_host_leader),
+            members=plan.host_sub,
+        )
+    if me == plan.my_host_leader and len(plan.host_leaders) > 1:
+        acc = yield from _flat.reduce(
+            comm,
+            acc,
+            op,
+            root=plan.host_leaders.index(root_rank),
+            members=plan.host_leaders,
+        )
+    return acc
+
+
+def _leader_allreduce(comm: "Rcce", plan: GroupPlan, acc, op) -> Generator:
+    if plan.host_leaders is None:
+        return (yield from _flat.allreduce(comm, acc, op, members=plan.leaders))
+    dtype = reduction_dtype(acc)
+    nbytes = np.asarray(acc, dtype=dtype).nbytes
+    me = plan.ranks[plan.me]
+    if len(plan.host_sub) > 1:
+        acc = yield from _flat.reduce(
+            comm,
+            acc,
+            op,
+            root=plan.host_sub.index(plan.my_host_leader),
+            members=plan.host_sub,
+        )
+    if me == plan.my_host_leader and len(plan.host_leaders) > 1:
+        acc = yield from _flat.allreduce(comm, acc, op, members=plan.host_leaders)
+    if len(plan.host_sub) > 1:
+        raw = yield from _flat.bcast(
+            comm,
+            None if acc is None else comm._as_bytes(acc),
+            nbytes,
+            root=plan.host_sub.index(plan.my_host_leader),
+            members=plan.host_sub,
+        )
+        acc = np.asarray(raw, np.uint8).view(dtype).copy()
+    return acc
 
 
 def barrier(
@@ -135,8 +313,9 @@ def barrier(
         yield from comm.send(_TOKEN, parent)
         yield from comm.recv(1, parent)
     elif plan.num_devices > 1:
-        # Device quiet; synchronize the leaders across PCIe.
-        yield from _flat.barrier(comm, members=plan.leaders)
+        # Device quiet; synchronize the leaders across PCIe (and, on a
+        # multi-host fabric, the host leaders across the inter-host tier).
+        yield from _leader_barrier(comm, plan)
     # Release phase: wake on-chip children in reverse order.
     ks = []
     k = 1
@@ -172,12 +351,8 @@ def bcast(
     if plan.n == 1:
         return payload
     if plan.is_leader and plan.num_devices > 1:
-        payload = yield from _flat.bcast(
-            comm,
-            payload,
-            nbytes,
-            root=plan.leaders.index(plan.ranks[root]),
-            members=plan.leaders,
+        payload = yield from _leader_bcast(
+            comm, plan, payload, nbytes, plan.ranks[root]
         )
     if len(plan.sub) > 1:
         payload = yield from _flat.bcast(
@@ -215,13 +390,7 @@ def reduce(
         members=plan.sub,
     )
     if plan.is_leader and plan.num_devices > 1:
-        acc = yield from _flat.reduce(
-            comm,
-            acc,
-            op,
-            root=plan.leaders.index(plan.ranks[root]),
-            members=plan.leaders,
-        )
+        acc = yield from _leader_reduce(comm, plan, acc, op, plan.ranks[root])
     return acc if plan.me == root else None
 
 
@@ -249,7 +418,7 @@ def allreduce(
         members=plan.sub,
     )
     if plan.is_leader and plan.num_devices > 1:
-        acc = yield from _flat.allreduce(comm, acc, op, members=plan.leaders)
+        acc = yield from _leader_allreduce(comm, plan, acc, op)
     if len(plan.sub) > 1:
         nbytes = np.asarray(values, dtype=dtype).nbytes
         raw = yield from _flat.bcast(
@@ -275,8 +444,10 @@ def gather(
     Each device gathers on chip to its leader, which forwards its
     device's contributions as *one* concatenated message — so the link
     carries ``num_devices - 1`` large messages instead of one per remote
-    rank. The root returns the parts in group order, like the flat
-    version.
+    rank. On a multi-host fabric the device blobs additionally funnel
+    through their host leader, so each *inter-host* link carries one
+    combined message per remote host. The root returns the parts in
+    group order, like the flat version.
     """
     plan = GroupPlan(comm, group_size, members, root=root)
     payload = comm._as_bytes(value)
@@ -287,21 +458,71 @@ def gather(
         root=plan.sub.index(plan.my_leader),
         members=plan.sub,
     )
+    me = plan.ranks[plan.me]
     if plan.me == root:
         index_of = {rank: i for i, rank in enumerate(plan.ranks)}
         out: list = [None] * plan.n
         for i, rank in enumerate(plan.sub):
             out[index_of[rank]] = parts[i]
-        for device, sub in plan.groups.items():
-            leader = plan.leaders[list(plan.groups).index(device)]
-            if leader == plan.ranks[root]:
-                continue
-            blob = yield from comm.recv(part_bytes * len(sub), leader)
+
+        def place(sub: list, blob) -> None:
             blob = np.asarray(blob, np.uint8)
             for i, rank in enumerate(sub):
                 out[index_of[rank]] = blob[i * part_bytes : (i + 1) * part_bytes]
+
+        if plan.host_leaders is None:
+            for device, sub in plan.groups.items():
+                leader = plan.leaders[list(plan.groups).index(device)]
+                if leader == me:
+                    continue
+                blob = yield from comm.recv(part_bytes * len(sub), leader)
+                place(sub, blob)
+        else:
+            topo = comm.topology
+            # My own host's device leaders report their device blob
+            # directly (the root leads its host).
+            for leader in plan.host_sub:
+                if leader == me:
+                    continue
+                dsub = plan.groups[topo.device_of(leader)]
+                blob = yield from comm.recv(part_bytes * len(dsub), leader)
+                place(dsub, blob)
+            # Each remote host leader forwards one combined blob, its
+            # host's device blobs concatenated in leader order.
+            for h_index, lsub in enumerate(plan.host_groups.values()):
+                hleader = plan.host_leaders[h_index]
+                if hleader == me:
+                    continue
+                subs = [plan.groups[topo.device_of(l)] for l in lsub]
+                total = part_bytes * sum(len(s) for s in subs)
+                blob = yield from comm.recv(total, hleader)
+                blob = np.asarray(blob, np.uint8)
+                off = 0
+                for s in subs:
+                    size = part_bytes * len(s)
+                    place(s, blob[off : off + size])
+                    off += size
         return out
     if plan.is_leader:
         blob = np.concatenate([np.asarray(p, np.uint8) for p in parts])
-        yield from comm.send(blob, plan.ranks[root])
+        if plan.is_host_leader:
+            # Host leader (≠ root): bundle my host's device blobs into
+            # one inter-host message toward the root.
+            topo = comm.topology
+            pieces = []
+            for leader in plan.host_sub:
+                if leader == me:
+                    pieces.append(blob)
+                else:
+                    dsub = plan.groups[topo.device_of(leader)]
+                    part = yield from comm.recv(part_bytes * len(dsub), leader)
+                    pieces.append(np.asarray(part, np.uint8))
+            yield from comm.send(np.concatenate(pieces), plan.ranks[root])
+        else:
+            target = (
+                plan.ranks[root]
+                if plan.host_leaders is None
+                else plan.my_host_leader
+            )
+            yield from comm.send(blob, target)
     return None

@@ -314,6 +314,11 @@ class ShardedKernel(Kernel):
         ]
         #: Conservative sync boundary (PCIe/SIF latency), observability only.
         self.lookahead_ns = lookahead_ns
+        #: Number of host lanes reserved at the front of the lane range.
+        #: The system layer sets this to its host count on a multi-host
+        #: fabric; the default (one host, lane 0) reproduces the historic
+        #: device-shard mapping exactly.
+        self.num_hosts = 1
         self._running = -1
         self._limit_t = -inf
         self._preempt = False
@@ -342,11 +347,23 @@ class ShardedKernel(Kernel):
         return self._running if self._running >= 0 else 0
 
     def lane_for(self, shard: Optional[int]) -> int:
-        """Device ``shard`` → lane ``1 + shard mod (lanes-1)``; host → 0."""
+        """Map a shard affinity hint to a lane.
+
+        The first ``num_hosts`` lanes are host lanes, the rest device
+        lanes. ``None`` → lane 0 (the first host). A negative hint
+        ``-(host_id + 1)`` → that host's lane. A device id ``d`` →
+        ``num_hosts + d mod (lanes - num_hosts)``. With one host this is
+        the historic ``1 + d mod (lanes - 1)`` mapping, bit for bit.
+        """
         n = self.num_shards
         if shard is None or n == 1:
             return 0
-        return 1 + shard % (n - 1)
+        hosts = min(self.num_hosts, n)
+        if shard < 0:
+            return (-shard - 1) % hosts
+        if n <= hosts:
+            return shard % n
+        return hosts + shard % (n - hosts)
 
     # -- scheduling -----------------------------------------------------------
 

@@ -21,10 +21,11 @@ from .protocol import (
 )
 from .schemes import CommScheme
 from .system import RunResult, VSCCSystem
-from .topology import VsccTopology
+from .topology import FabricTopology, VsccTopology
 
 __all__ = [
     "AdaptivePolicy",
+    "FabricTopology",
     "CommScheme",
     "DirectSmallTransport",
     "RemotePutTransport",

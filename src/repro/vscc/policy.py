@@ -27,6 +27,13 @@ Both end points of a message must agree on the transport; the selector
 (:class:`repro.vscc.protocol.VsccSelector`) guarantees agreement by
 journaling each directed pair's decisions, so a policy is free to keep
 evolving state between messages.
+
+On a multi-host fabric every policy additionally answers the
+**host-affinity** question for cross-host routes: which host's
+communication task owns the inter-host forward of a copy ("src" — the
+sender's host pushes, or "dst" — the receiver's host pays the
+forwarding service). The affinity rides the same decision journal as
+the scheme, so both end points see one consistent answer per message.
 """
 
 from __future__ import annotations
@@ -63,6 +70,23 @@ class Route:
     #: Single-transfer capacity of the communication buffer (bytes) —
     #: the MPB payload minus the user area; the "8 kB cliff" sits here.
     chunk_bytes: int
+    #: Host of the sending device (0 on a single-host fabric).
+    src_host: int = 0
+    #: Host of the receiving device (0 on a single-host fabric).
+    dst_host: int = 0
+
+    @property
+    def is_cross_host(self) -> bool:
+        """Whether this route additionally crosses the inter-host tier."""
+        return self.src_host != self.dst_host
+
+
+def _check_affinity(value: str) -> str:
+    if value not in ("src", "dst"):
+        raise ValueError(
+            f"cross_host_affinity must be 'src' or 'dst', got {value!r}"
+        )
+    return value
 
 
 class SchemePolicy(abc.ABC):
@@ -86,6 +110,21 @@ class SchemePolicy(abc.ABC):
     #: descriptors for the same route into one engine pass. Off for
     #: :class:`StaticPolicy` so historic fingerprints stay bit-identical.
     coalesce_vdma = False
+
+    #: Default host-affinity answer of :meth:`host_affinity` ("src" or
+    #: "dst"). Policies may set it per instance or override the method
+    #: for per-route decisions.
+    cross_host_affinity = "src"
+
+    def host_affinity(self, route: Route) -> str:
+        """Which host's communication task owns a cross-host copy.
+
+        Only consulted for routes with ``route.is_cross_host``; like
+        :meth:`choose` it may depend only on information both end
+        points share, because the selector journals the answer next to
+        the scheme decision.
+        """
+        return self.cross_host_affinity
 
     @property
     @abc.abstractmethod
@@ -122,10 +161,11 @@ class StaticPolicy(SchemePolicy):
 
     name = "static"
 
-    def __init__(self, scheme: CommScheme):
+    def __init__(self, scheme: CommScheme, cross_host_affinity: str = "src"):
         if not isinstance(scheme, CommScheme):
             raise TypeError(f"StaticPolicy needs a CommScheme, got {scheme!r}")
         self.scheme = scheme
+        self.cross_host_affinity = _check_affinity(cross_host_affinity)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"StaticPolicy({self.scheme})"
@@ -169,7 +209,9 @@ class ThresholdPolicy(SchemePolicy):
         self,
         direct_bytes: int = 64,
         vdma_cutover: Optional[int] = None,
+        cross_host_affinity: str = "src",
     ):
+        self.cross_host_affinity = _check_affinity(cross_host_affinity)
         if direct_bytes < 0:
             raise ValueError(f"direct_bytes must be >= 0, got {direct_bytes}")
         if vdma_cutover is not None and vdma_cutover < direct_bytes:
@@ -238,7 +280,9 @@ class AdaptivePolicy(SchemePolicy):
         ),
         alpha: float = 0.25,
         probe_every: int = 32,
+        cross_host_affinity: str = "src",
     ):
+        self.cross_host_affinity = _check_affinity(cross_host_affinity)
         candidates = tuple(candidates)
         if not candidates:
             raise ValueError("AdaptivePolicy needs at least one candidate scheme")

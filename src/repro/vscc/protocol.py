@@ -26,7 +26,7 @@ from repro.rcce.flags import SLOT_VDMA_DONE, reached
 from repro.rcce.transport import DefaultGetTransport, Transport, TransportSelector
 from repro.scc.params import CACHE_LINE
 
-from .policy import Route, SchemePolicy, StaticPolicy
+from .policy import Route, SchemePolicy, StaticPolicy, _check_affinity
 from .schemes import CommScheme
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -277,12 +277,15 @@ class VdmaTransport(Transport):
 
     name = "local-put-local-get-vdma"
 
-    def __init__(self, host: "Host", fused_mmio: bool = True):
+    def __init__(self, host: "Host", fused_mmio: bool = True, selector=None):
         self.host = host
         #: Whether the three programming registers are written as one
         #: WCB-fused transaction (§3.3) — the mmio-fusion ablation
         #: disables this to measure the saving.
         self.fused_mmio = fused_mmio
+        #: Owning :class:`VsccSelector`, consulted for the host-affinity
+        #: of cross-host copies (``None`` on a standalone transport).
+        self.selector = selector
 
     def _slot_bytes(self, comm: "Rcce") -> int:
         slot = comm.comm_buffer_bytes // 2
@@ -319,6 +322,11 @@ class VdmaTransport(Transport):
         done_preds = [reached(s) for s in done_seqs]
         grant_preds = [reached(g) for g in grants]
         slot_addrs = (env.local_addr(0), env.local_addr(slot))
+        # Host-affinity of a cross-host copy (None on a same-host route):
+        # which host's communication task owns the inter-host forward.
+        owner = None
+        if self.selector is not None:
+            owner = self.selector.host_affinity_for(comm, me, dest)
         offset = 0
         for k, size in enumerate(transfers):
             if k >= 2:
@@ -337,6 +345,7 @@ class VdmaTransport(Transport):
                 progress_flag=sent,
                 progress_values=tuple(progress[k]),
                 granule=granule,
+                owner=owner,
             )
             yield from env.device.fabric.mmio_write_block(
                 env,
@@ -527,11 +536,16 @@ class VsccSelector(TransportSelector):
             self.direct_threshold = max(self._thresholds.values(), default=0)
             self._cross = None
         #: Decision journal of dynamic policies: directed pair → the
-        #: schemes chosen for its messages, in order.
-        self._journal: dict[tuple[int, int], list[CommScheme]] = {}
+        #: (scheme, host-affinity) decisions of its messages, in order
+        #: (affinity is ``None`` for same-host routes).
+        self._journal: dict[tuple[int, int], list[tuple[CommScheme, Optional[str]]]] = {}
         #: Per-(pair, op) cursor into the journal.
         self._cursors: dict[tuple[int, int, str], int] = {}
         self._routes: dict[tuple[int, int], Route] = {}
+        #: Host-affinity per directed pair (cross-host routes only).
+        self._affinities: dict[tuple[int, int], str] = {}
+        #: Cross-host copies decided per owner ("src"/"dst").
+        self.affinity_decisions: dict[str, int] = {}
         #: Messages routed per transport name (selection happens once per
         #: send/recv, so counting here is off the byte-moving hot path).
         self.selections: dict[str, int] = {}
@@ -561,7 +575,9 @@ class VsccSelector(TransportSelector):
         if scheme is CommScheme.HW_ACCEL_REMOTE_PUT:
             return RemotePutTransport(via_host_wcb=False)
         if scheme is CommScheme.LOCAL_PUT_LOCAL_GET_VDMA:
-            return VdmaTransport(self.host, fused_mmio=self.vdma_fused_mmio)
+            return VdmaTransport(
+                self.host, fused_mmio=self.vdma_fused_mmio, selector=self
+            )
         raise ValueError(f"unknown scheme {scheme}")  # pragma: no cover
 
     def metrics_snapshot(self) -> dict[str, float]:
@@ -572,6 +588,8 @@ class VsccSelector(TransportSelector):
         }
         for scheme, count in sorted(self.decisions.items(), key=lambda kv: kv[0].value):
             snapshot[f"policy.decisions{{scheme={scheme.value}}}"] = float(count)
+        for owner, count in sorted(self.affinity_decisions.items()):
+            snapshot[f"policy.host_affinity{{owner={owner}}}"] = float(count)
         return snapshot
 
     # -- policy decision journal --------------------------------------------------
@@ -580,13 +598,46 @@ class VsccSelector(TransportSelector):
         key = (src, dst)
         route = self._routes.get(key)
         if route is None:
+            src_device = comm.layout.placement(src)[0]
+            dst_device = comm.layout.placement(dst)[0]
             route = Route(
-                src_device=comm.layout.placement(src)[0],
-                dst_device=comm.layout.placement(dst)[0],
+                src_device=src_device,
+                dst_device=dst_device,
                 chunk_bytes=comm.comm_buffer_bytes,
+                src_host=self.host.host_for(src_device).host_id,
+                dst_host=self.host.host_for(dst_device).host_id,
             )
             self._routes[key] = route
         return route
+
+    def host_affinity_for(
+        self, comm: "Rcce", src: int, dst: int
+    ) -> Optional[str]:
+        """Journal-consistent host-affinity of a directed rank pair.
+
+        ``None`` for same-host routes; otherwise the policy's "src"/"dst"
+        answer, decided once per directed pair (a :class:`Route` is the
+        policy's unit of affinity) and counted/traced like a scheme
+        decision.
+        """
+        route = self._route(comm, src, dst)
+        if not route.is_cross_host:
+            return None
+        pair = (src, dst)
+        affinity = self._affinities.get(pair)
+        if affinity is None:
+            affinity = _check_affinity(self.policy.host_affinity(route))
+            self._affinities[pair] = affinity
+            self.affinity_decisions[affinity] = (
+                self.affinity_decisions.get(affinity, 0) + 1
+            )
+            tracer = comm.env.device.tracer
+            if tracer.wants("policy"):
+                tracer.emit(
+                    comm.env.sim.now, "policy", src, dst,
+                    f"host_affinity={affinity}", 0,
+                )
+        return affinity
 
     def _decide(
         self, comm: "Rcce", peer: int, nbytes: int, op: str, probe: bool
@@ -608,7 +659,7 @@ class VsccSelector(TransportSelector):
         cursor_key = (src, dst, op)
         index = self._cursors.get(cursor_key, 0)
         if index < len(decisions):
-            scheme = decisions[index]
+            scheme, _affinity = decisions[index]
         else:
             route = self._route(comm, src, dst)
             scheme = self.policy.choose(src, dst, nbytes, route)
@@ -617,7 +668,12 @@ class VsccSelector(TransportSelector):
                     f"policy {self.policy.name!r} chose {scheme} which is not "
                     f"in its declared scheme set {self.policy.schemes}"
                 )
-            decisions.append(scheme)
+            affinity = (
+                self.host_affinity_for(comm, src, dst)
+                if route.is_cross_host
+                else None
+            )
+            decisions.append((scheme, affinity))
             self.decisions[scheme] = self.decisions.get(scheme, 0) + 1
             tracer = comm.env.device.tracer
             if tracer.wants("policy"):

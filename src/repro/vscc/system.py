@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.host.driver import Host, HostParams
+from repro.host.interhost import HostCluster, InterHostParams
 from repro.host.pcie import PCIeParams
 from repro.obs.metrics import MetricsRegistry, merge_snapshots, registry_for
 from repro.rcce.api import Rcce, RcceOptions
@@ -48,7 +49,7 @@ from repro.sim.trace import Tracer
 from .policy import SchemePolicy, StaticPolicy
 from .protocol import VsccSelector
 from .schemes import CommScheme
-from .topology import VsccTopology
+from .topology import FabricTopology, VsccTopology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults import FaultInjector, FaultPlan
@@ -60,7 +61,17 @@ TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched", "coll")
 
 
 class VSCCSystem:
-    """A grid of cluster-on-a-chip processors behind one host."""
+    """A grid of cluster-on-a-chip processors behind one or more hosts.
+
+    The default is the paper's configuration: every device on a single
+    host. ``num_hosts``/``devices_per_host`` scale the fabric to the
+    three-level hierarchy (mesh → PCIe → inter-host): devices are
+    assigned to hosts in contiguous slices, each host owns its own
+    communication tasks/cables/engines, and host-to-host traffic rides
+    the :class:`~repro.host.interhost.InterHostLink` tier
+    (``interhost_params``). Single-host systems build no cluster and are
+    bit-identical to the pre-fabric code.
+    """
 
     def __init__(
         self,
@@ -81,9 +92,23 @@ class VSCCSystem:
         policy: Optional[SchemePolicy] = None,
         kernel: Union[Kernel, str, None] = None,
         fuse_delays: Optional[bool] = None,
+        num_hosts: int = 1,
+        devices_per_host: Optional[int] = None,
+        interhost_params: Optional[InterHostParams] = None,
     ):
+        if num_hosts < 1:
+            raise ValueError("need at least one host")
+        if devices_per_host is not None:
+            if devices_per_host < 1:
+                raise ValueError("need at least one device per host")
+            num_devices = num_hosts * devices_per_host
         if num_devices < 1:
             raise ValueError("need at least one device")
+        if num_devices < num_hosts:
+            raise ValueError(
+                f"{num_hosts} hosts need at least {num_hosts} devices, "
+                f"got {num_devices}"
+            )
         if policy is None:
             policy = StaticPolicy(
                 CommScheme.LOCAL_PUT_LOCAL_GET_VDMA if scheme is None else scheme
@@ -102,8 +127,10 @@ class VSCCSystem:
         if kernel is None:
             kernel = os.environ.get(KERNEL_ENV_VAR) or None
         #: Event-queue backend (``repro.sim.kernel``); the bare
-        #: ``"sharded"`` spec gets one lane per device plus a host lane.
-        self.kernel = kernel_from_spec(kernel, default_shards=num_devices + 1)
+        #: ``"sharded"`` spec gets one lane per device plus one per host.
+        self.kernel = kernel_from_spec(kernel, default_shards=num_devices + num_hosts)
+        if isinstance(self.kernel, ShardedKernel):
+            self.kernel.num_hosts = num_hosts
         # ``fuse_delays`` pins the delay-fusion fast path per system (the
         # service layer runs many systems with per-job specs in one
         # process, where mutating ``REPRO_FUSE`` would race); ``None``
@@ -117,31 +144,65 @@ class VSCCSystem:
         rng = np.random.default_rng(seed)
         for device in self.devices:
             device.boot(failure_prob=failure_prob, rng=rng)
-        self.host = Host(
-            self.sim,
-            self.devices,
-            pcie_params=pcie_params,
-            host_params=host_params,
-            extensions_enabled=any(s.needs_extensions for s in policy.schemes),
-            fast_write_ack=any(s.uses_fast_write_ack for s in policy.schemes),
-            allow_unstable=allow_unstable,
-        )
+        # Contiguous device slices per host: device d lives on host
+        # d // devices_per_host (the last host absorbs any remainder).
+        per_host = devices_per_host or -(-num_devices // num_hosts)
+        self.hosts: list[Host] = []
+        for host_id in range(num_hosts):
+            slice_devices = self.devices[
+                host_id * per_host : (host_id + 1) * per_host
+            ] if host_id < num_hosts - 1 else self.devices[host_id * per_host :]
+            self.hosts.append(
+                Host(
+                    self.sim,
+                    slice_devices,
+                    pcie_params=pcie_params,
+                    host_params=host_params,
+                    extensions_enabled=any(
+                        s.needs_extensions for s in policy.schemes
+                    ),
+                    fast_write_ack=any(
+                        s.uses_fast_write_ack for s in policy.schemes
+                    ),
+                    allow_unstable=allow_unstable,
+                    host_id=host_id,
+                )
+            )
+        #: The first (on a single-host system: only) host — the historic
+        #: attribute every pre-fabric caller reads.
+        self.host = self.hosts[0]
+        #: Inter-host tier; ``None`` on a single-host system.
+        self.cluster: Optional[HostCluster] = None
+        if num_hosts > 1:
+            self.cluster = HostCluster(self.sim, self.hosts, interhost_params)
         # Dynamic policies opt the host scheduler into vDMA descriptor
         # coalescing; static runs keep the historic timing bit-identical.
-        self.host.sched_coalesce = policy.coalesce_vdma
+        for host in self.hosts:
+            host.sched_coalesce = policy.coalesce_vdma
         # The conservative sync boundary of the sharded backend is the
         # PCIe/SIF hop: cross-device causality is at least one cable
         # latency away, which is what makes device-grained lanes pay off.
+        # (The inter-host tier is strictly slower, so the PCIe latency
+        # stays the binding lookahead on a clustered fabric too.)
         if isinstance(self.kernel, ShardedKernel) and self.kernel.lookahead_ns is None:
             self.kernel.lookahead_ns = self.host.pcie_params.latency_ns
-        # §3.1: every rank registers its buffer/flag regions with the task.
-        for device in self.devices:
-            for core in device.available_cores:
-                self.host.register_rank_regions(device.device_id, core)
+        # §3.1: every rank registers its buffer/flag regions with the
+        # task — with *every* host, so cross-host sends can classify a
+        # foreign target address without a directory round trip.
+        for host in self.hosts:
+            for device in self.devices:
+                for core in device.available_cores:
+                    host.register_rank_regions(device.device_id, core)
         self.config = SccConfigFile.from_devices(self.devices)
         self.layout = RankLayout.from_config(self.config, core_order)
         self.flags = FlagLayout(self.layout, self.params)
-        self.topology = VsccTopology(self.layout, self.params)
+        if self.cluster is None:
+            self.topology: FabricTopology = VsccTopology(self.layout, self.params)
+        else:
+            self.topology = FabricTopology(
+                self.layout, self.params,
+                host_map=self.cluster.host_map(num_devices),
+            )
         self.selector = VsccSelector(
             self.host,
             policy,
@@ -186,6 +247,10 @@ class VSCCSystem:
                 selector=self.selector,
                 flags=self.flags,
             )
+            # Hand the communicator the system topology so hierarchical
+            # collectives see the host tier (the lazy default would build
+            # a single-host VsccTopology).
+            comm._topology = self.topology
             self._comms[rank] = comm
         return comm
 
@@ -277,7 +342,9 @@ class VSCCSystem:
         """
         parts = [self.sim.metrics_snapshot()]
         parts.extend(device.metrics_snapshot() for device in self.devices)
-        parts.append(self.host.metrics_snapshot())
+        parts.extend(host.metrics_snapshot() for host in self.hosts)
+        if self.cluster is not None:
+            parts.append(self.cluster.metrics_snapshot())
         parts.append(self.selector.metrics_snapshot())
         if self.fault_injector is not None:
             parts.append(self.fault_injector.metrics_snapshot())

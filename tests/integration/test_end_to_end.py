@@ -25,8 +25,8 @@ def test_240_core_system_boots_and_talks():
     system.run(program, ranks=[0, 239])
     assert (got["data"] == payload).all()
     # ranks 0 and 239 sit on the first and last device
-    assert system.topology.xyz(0)[2] == 0
-    assert system.topology.xyz(239)[2] == 4
+    assert system.topology.device_of(0) == 0
+    assert system.topology.device_of(239) == 4
 
 
 def test_all_to_one_gather_across_devices():

@@ -9,12 +9,12 @@ from repro.vscc.system import VSCCSystem
 
 
 def test_split_by_device():
-    """One communicator per device: color = z coordinate."""
+    """One communicator per device: color = device coordinate."""
     system = VSCCSystem(num_devices=2, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
     got = {}
 
     def program(comm):
-        device = system.topology.xyz(comm.rank)[2]
+        device = system.topology.coords(comm.rank)[2]
         group = yield from comm_split(comm, color=device, key=comm.rank)
         got[comm.rank] = (group.rank, group.size, tuple(group.members[:2]))
         # a barrier inside the group must not involve the other device

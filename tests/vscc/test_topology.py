@@ -1,4 +1,4 @@
-"""Unit tests for the (x, y, z) topology."""
+"""Unit tests for the (x, y, device, host) topology."""
 
 import pytest
 
@@ -11,12 +11,18 @@ def system():
     return VSCCSystem(num_devices=3, scheme=CommScheme.LOCAL_PUT_LOCAL_GET_VDMA)
 
 
-def test_z_coordinate_is_device(system):
+def test_device_coordinate(system):
     topo = system.topology
-    assert topo.xyz(0) == (0, 0, 0)
-    assert topo.xyz(48) == (0, 0, 1)
-    assert topo.xyz(96 + 47) == (5, 3, 2)
+    assert topo.coords(0) == (0, 0, 0, 0)
+    assert topo.coords(48) == (0, 0, 1, 0)
+    assert topo.coords(96 + 47) == (5, 3, 2, 0)
     assert topo.num_devices() == 3
+
+
+def test_xyz_shim_warns_but_still_answers(system):
+    topo = system.topology
+    with pytest.warns(DeprecationWarning, match="coords"):
+        assert topo.xyz(48) == (0, 0, 1)
 
 
 def test_mesh_hops_only_same_device(system):
