@@ -48,6 +48,7 @@ from bench_kernel_micro import (  # noqa: E402
     yield_float_churn,
     zero_delay_churn,
 )
+from bench_ext_rpc import rpc_open_loop  # noqa: E402
 from bench_serve_throughput import serve_mixed_tenants  # noqa: E402
 
 SCHEMA_VERSION = 1
@@ -350,6 +351,7 @@ SCENARIOS = {
     "micro_flag_wait": flag_wait_churn,
     "micro_chunk_send": chunk_send_churn,
     "serve_mixed_tenants": serve_mixed_tenants,
+    "rpc_open_loop": rpc_open_loop,
     **FAULT_SCENARIOS,
 }
 

@@ -1,7 +1,16 @@
-"""Applications: ping-pong, NPB BT, CG, heat stencil, traffic analysis."""
+"""Applications: ping-pong, NPB BT, CG, heat stencil, traffic, RPC offload."""
 
 from .cg import CGConfig, cg_reference, run_cg
 from .pingpong import DEFAULT_SIZES, PingPongPoint, run_pingpong
+from .rpc import (
+    RpcCompletion,
+    RpcDispatcher,
+    RpcParams,
+    RpcReport,
+    SerializationCache,
+    install_rpc,
+    run_rpc,
+)
 from .stencil import StencilConfig, jacobi_reference, run_stencil
 from .traffic import TrafficStats, render_traffic, traffic_matrix, traffic_stats
 
@@ -14,6 +23,13 @@ __all__ = [
     "run_cg",
     "run_stencil",
     "PingPongPoint",
+    "RpcCompletion",
+    "RpcDispatcher",
+    "RpcParams",
+    "RpcReport",
+    "SerializationCache",
+    "install_rpc",
+    "run_rpc",
     "TrafficStats",
     "render_traffic",
     "run_pingpong",

@@ -92,15 +92,23 @@ class HostRequestScheduler:
     SYNC = "sync"
     BULK = "bulk"
     CTRL = "ctrl"
-    LANES = (SYNC, BULK, CTRL)
+    #: Request/response descriptors of the RPC dispatch path
+    #: (:mod:`repro.apps.rpc`). A fourth classification, not a
+    #: reprioritization: RPC descriptors are bulk-class data movement,
+    #: but dispatch wants its own depth/byte series — and priority RPCs
+    #: deliberately ride ``sync`` instead (they are the ``sync_bypass``
+    #: traffic of an RPC run).
+    RPC = "rpc"
+    LANES = (SYNC, BULK, CTRL, RPC)
 
     __slots__ = (
         "task", "host", "device_id",
         "sync_requests", "sync_bytes", "sync_depth",
         "bulk_requests", "bulk_bytes", "bulk_depth",
         "ctrl_requests", "ctrl_bytes", "ctrl_depth",
+        "rpc_requests", "rpc_bytes", "rpc_depth",
         "sync_bypass", "coalesced_vdma", "_vdma_inflight",
-        "_obs", "_sync_gauge", "_bulk_gauge", "_ctrl_gauge",
+        "_obs", "_sync_gauge", "_bulk_gauge", "_ctrl_gauge", "_rpc_gauge",
     )
 
     def __init__(self, task: "CommunicationTask"):
@@ -118,6 +126,9 @@ class HostRequestScheduler:
         self.ctrl_requests = 0
         self.ctrl_bytes = 0
         self.ctrl_depth = 0
+        self.rpc_requests = 0
+        self.rpc_bytes = 0
+        self.rpc_depth = 0
         #: Sync-lane admissions that overtook in-flight bulk work.
         self.sync_bypass = 0
         #: vDMA descriptors chained onto an in-flight same-route copy.
@@ -136,6 +147,10 @@ class HostRequestScheduler:
         self._ctrl_gauge = self._obs.gauge(
             "sched.queue_depth", device=self.device_id, lane=self.CTRL
         )
+        # The rpc gauge is created on first admission — instrument
+        # creation registers the series eagerly, and a non-RPC run's
+        # snapshot must not grow a zero-valued rpc lane.
+        self._rpc_gauge = None
 
     def sync_access(self, addr: MpbAddr, length: int) -> bool:
         """Whether this remote access is sync traffic (registered FLAG
@@ -147,7 +162,9 @@ class HostRequestScheduler:
     def admit_sync(self, nbytes: int) -> None:
         self.sync_requests += 1
         self.sync_bytes += nbytes
-        if self.bulk_depth:
+        # rpc_depth is zero outside RPC runs, so legacy traffic counts
+        # bypasses exactly as before the rpc lane existed.
+        if self.bulk_depth or self.rpc_depth:
             self.sync_bypass += 1
         self.sync_depth += 1
         if self._obs.enabled:
@@ -181,6 +198,22 @@ class HostRequestScheduler:
         self.ctrl_depth -= 1
         if self._obs.enabled:
             self._ctrl_gauge.set(float(self.ctrl_depth))
+
+    def admit_rpc(self, nbytes: int) -> None:
+        self.rpc_requests += 1
+        self.rpc_bytes += nbytes
+        self.rpc_depth += 1
+        if self._obs.enabled:
+            if self._rpc_gauge is None:
+                self._rpc_gauge = self._obs.gauge(
+                    "sched.queue_depth", device=self.device_id, lane=self.RPC
+                )
+            self._rpc_gauge.set(float(self.rpc_depth))
+
+    def complete_rpc(self) -> None:
+        self.rpc_depth -= 1
+        if self._obs.enabled and self._rpc_gauge is not None:
+            self._rpc_gauge.set(float(self.rpc_depth))
 
     # -- vDMA route coalescing -----------------------------------------------------
 
@@ -219,6 +252,14 @@ class HostRequestScheduler:
             out[f"sched.bytes{{device={d},lane={lane}}}"] = float(nbytes)
         out[f"sched.sync_bypass{{device={d}}}"] = float(self.sync_bypass)
         out[f"sched.coalesced{{device={d}}}"] = float(self.coalesced_vdma)
+        # The rpc lane exists only on devices that ran RPC traffic —
+        # emitted conditionally so every pre-RPC snapshot stays
+        # byte-stable (the softcache peer_drops precedent).
+        if self.rpc_requests:
+            out[f"sched.requests{{device={d},lane={self.RPC}}}"] = float(
+                self.rpc_requests
+            )
+            out[f"sched.bytes{{device={d},lane={self.RPC}}}"] = float(self.rpc_bytes)
         return out
 
 
@@ -508,6 +549,75 @@ class CommunicationTask:
             cable.up.post(length + REQUEST_BYTES, on_arrival=forward)
         finally:
             self.sched.complete_bulk()
+
+    # -- RPC dispatch (repro.apps.rpc) ---------------------------------------------
+
+    def rpc_submit(self, env: "CoreEnv", calls, dispatcher, pay_setup: bool = False):
+        """Post one RPC descriptor (one or more coalesced requests) up.
+
+        The client half of the RPC-offload path: the issuing core pays
+        the mesh→SIF crossing for the serialized requests (plus one
+        vDMA engine setup when the policy put the batch on the vDMA
+        scheme), then the descriptor rides this device's up-cable —
+        and, for a dispatcher homed on another host, the inter-host
+        link, with the policy's ``cross_host_affinity`` choosing which
+        host's communication task pays the forwarding ``service_ns`` —
+        to ``dispatcher.receive``. Delivery is posted: the core does
+        not stall on the response (open-loop clients wait on the
+        dispatcher's per-rank done event instead).
+
+        A priority descriptor (always a single call — priority requests
+        are coalescing barriers) is admitted on the ``sync`` lane and
+        counts ``sync_bypass`` when it overtakes in-flight work; plain
+        descriptors ride the dedicated ``rpc`` lane, whose depth tracks
+        descriptors in flight toward the dispatcher.
+        """
+        if not calls:
+            raise ValueError("rpc_submit needs at least one call")
+        self._check_route(dispatcher.home_device)
+        host = self.host
+        cable = self.cable
+        sched = self.sched
+        nbytes = sum(c.req_bytes for c in calls) + REQUEST_BYTES * len(calls)
+        priority = calls[0].priority
+        if priority:
+            sched.admit_sync(nbytes)
+        else:
+            sched.admit_rpc(nbytes)
+        if pay_setup:
+            yield (
+                env.device.sif.mesh_to_sif_ns(env.core_id, nbytes),
+                host.params.vdma_setup_ns,
+            )
+        else:
+            yield env.device.sif.mesh_to_sif_ns(env.core_id, nbytes)
+        src_device = self.device_id
+        batch = tuple(calls)
+        home = dispatcher.host
+
+        def deliver() -> None:
+            sched.complete_sync() if priority else sched.complete_rpc()
+            dispatcher.receive(src_device, batch)
+
+        if host is home:
+            cable.up.post(
+                nbytes, on_arrival=deliver,
+                extra_overhead_ns=host.params.service_ns,
+            )
+        else:
+            link = host.cluster.link(host.host_id, home.host_id)
+            owner = home if dispatcher.policy.cross_host_affinity == "dst" else host
+
+            def hop() -> None:
+                link.link.post(
+                    nbytes, on_arrival=deliver,
+                    extra_overhead_ns=owner.params.service_ns,
+                )
+
+            cable.up.post(
+                nbytes, on_arrival=hop,
+                extra_overhead_ns=host.params.service_ns,
+            )
 
     def issue_wcb_open(self, env: "CoreEnv", target: MpbAddr, nbytes: int) -> Generator:
         """Sender-side announce: reserve the stream, then write the MSG regs.

@@ -206,6 +206,69 @@ def _wl_bt(system, params):
     return system.run(bench.program, ranks=range(nranks))
 
 
+@workload("rpc")
+def _wl_rpc(system, params):
+    """Open-loop RPC offload (:mod:`repro.apps.rpc`), JSON-able params.
+
+    ``arrivals`` picks the interarrival process ("poisson" with
+    ``mean_gap_ns``, or "bursty" with ``on_gap_ns``/``off_gap_ns``/
+    ``burst_mean``); request/response sizes are bounded-Pareto
+    (``req_alpha``/``req_cap`` and ``resp_alpha``/``resp_cap``). The
+    trace is a pure function of the spec, so a re-run of the same job
+    replays the identical call sequence.
+    """
+    from repro.apps.rpc import RpcParams, run_rpc
+    from repro.bench.arrivals import (
+        BurstyArrivals,
+        ParetoSizes,
+        PoissonArrivals,
+        generate_calls,
+    )
+
+    nranks = int(params.get("nranks", min(4, system.num_ranks)))
+    calls_per_rank = int(params.get("calls_per_rank", 32))
+    kind = str(params.get("arrivals", "poisson"))
+    if kind == "poisson":
+        arrivals = PoissonArrivals(float(params.get("mean_gap_ns", 4000.0)))
+    elif kind == "bursty":
+        arrivals = BurstyArrivals(
+            on_gap_ns=float(params.get("on_gap_ns", 400.0)),
+            off_gap_ns=float(params.get("off_gap_ns", 40_000.0)),
+            burst_mean=float(params.get("burst_mean", 8.0)),
+        )
+    else:
+        raise ValueError(f"unknown arrival process {kind!r}")
+    calls = generate_calls(
+        ranks=range(nranks),
+        calls_per_rank=calls_per_rank,
+        arrivals=arrivals,
+        req_sizes=ParetoSizes(
+            alpha=float(params.get("req_alpha", 1.3)),
+            cap_bytes=int(params.get("req_cap", 16384)),
+        ),
+        resp_sizes=ParetoSizes(
+            alpha=float(params.get("resp_alpha", 1.2)),
+            floor_bytes=48,
+            cap_bytes=int(params.get("resp_cap", 32768)),
+        ),
+        seed=int(params.get("trace_seed", 0)),
+        priority_every=int(params.get("priority_every", 0)),
+    )
+    rpc_params = RpcParams(
+        coalesce_bytes=int(params.get("coalesce_bytes", 128)),
+        coalesce_max=int(params.get("coalesce_max", 8)),
+        batch_bytes=int(params.get("batch_bytes", 1536)),
+        flush_deadline_ns=float(params.get("flush_deadline_ns", 20_000.0)),
+        cache=bool(params.get("cache", True)),
+    )
+    report = run_rpc(system, calls, rpc_params)
+    if report.completed != report.offered:
+        raise JobError(
+            f"rpc job lost responses: {report.completed}/{report.offered}"
+        )
+    return report.run
+
+
 @workload("deadlock")
 def _wl_deadlock(system, params):
     """Two ranks each waiting on the other — the error-propagation probe.

@@ -144,6 +144,24 @@ class SchemePolicy(abc.ABC):
     ) -> None:
         """Feedback hook: one completed send's route/scheme/size/time."""
 
+    def rpc_scheme(self, rank: int, nbytes: int, route: Route) -> CommScheme:
+        """The scheme that should carry one RPC request toward its host.
+
+        The per-RPC analogue of :meth:`choose` for the dispatch path of
+        :mod:`repro.apps.rpc`: ``route`` points from the client device
+        to the dispatcher's home device, and the answer decides whether
+        the request is *coalescible* — only requests mapped onto the
+        vDMA scheme may share a descriptor (and pay its setup once).
+        Every answer is journaled through the selector's decision
+        counters (``policy.decisions{scheme=}``) and, for
+        feedback-driven policies, fed back via :meth:`observe` with the
+        end-to-end RPC latency — so an adaptive policy genuinely adapts
+        to the RPC traffic mix. The default reuses :meth:`choose` with
+        the client rank on both sides; policies may override for
+        RPC-specific decisions.
+        """
+        return self.choose(rank, rank, nbytes, route)
+
     @property
     def static_scheme(self) -> Optional[CommScheme]:
         """The single scheme of a run-static policy, else ``None``."""

@@ -686,6 +686,25 @@ class VsccSelector(TransportSelector):
                 self._prune(pair)
         return scheme
 
+    def decide_rpc(self, rank: int, nbytes: int, route: Route) -> CommScheme:
+        """One journaled per-RPC scheme decision (:mod:`repro.apps.rpc`).
+
+        RPC dispatch is strictly client→host, so there is no two-sided
+        replay to keep consistent — no journal cursor, just the policy
+        answer counted into ``policy.decisions{scheme=}`` and traced
+        like any other decision. The dispatcher additionally records
+        ``(req_id, scheme)`` in its own :attr:`decision_journal`.
+        """
+        scheme = self.policy.rpc_scheme(rank, nbytes, route)
+        self.decisions[scheme] = self.decisions.get(scheme, 0) + 1
+        tracer = self.host.device_of(route.src_device).tracer
+        if tracer.wants("policy"):
+            tracer.emit(
+                self.host.sim.now, "policy", rank, rank,
+                f"rpc:{scheme.value}", nbytes,
+            )
+        return scheme
+
     def _prune(self, pair: tuple[int, int]) -> None:
         """Drop the journal prefix both cursors have consumed."""
         send_key = (pair[0], pair[1], "send")

@@ -57,7 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["RunResult", "VSCCSystem"]
 
 #: Trace categories recorded when ``run(trace_json=...)`` is used.
-TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched", "coll")
+TRACE_CATEGORIES = ("protocol", "vdma", "faults", "policy", "sched", "coll", "rpc")
 
 
 class VSCCSystem:
@@ -220,6 +220,10 @@ class VSCCSystem:
         #: leaves every link untouched, keeping the simulation
         #: bit-identical to the fault-free kernel.
         self.fault_plan = fault_plan
+        #: RPC dispatchers installed on this system
+        #: (:func:`repro.apps.rpc.install_rpc`); their ``rpc.*`` series
+        #: join :meth:`metrics`. Empty on every non-RPC run.
+        self.rpc_dispatchers: list = []
         self.fault_injector: Optional["FaultInjector"] = None
         if fault_plan is not None and not fault_plan.is_empty:
             from repro.faults.injector import FaultInjector
@@ -346,6 +350,7 @@ class VSCCSystem:
         if self.cluster is not None:
             parts.append(self.cluster.metrics_snapshot())
         parts.append(self.selector.metrics_snapshot())
+        parts.extend(d.metrics_snapshot() for d in self.rpc_dispatchers)
         if self.fault_injector is not None:
             parts.append(self.fault_injector.metrics_snapshot())
         parts.append(self.obs.snapshot())
